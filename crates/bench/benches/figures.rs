@@ -1,0 +1,24 @@
+//! Bench: regenerate the paper's Figures 1-3 (E2-E4) — grid derivation and
+//! rendering, and Figure 3 chain construction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_figures(c: &mut Criterion) {
+    c.bench_function("figures/figure1_grid_n14", |b| {
+        b.iter(|| black_box(coterie_harness::experiments::figures::figure1()))
+    });
+    c.bench_function("figures/figure3_chain_n9", |b| {
+        b.iter(|| {
+            let chain = coterie_markov::DynamicModel::grid(black_box(9), 1.0, 19.0).chain();
+            black_box(chain.len())
+        })
+    });
+    c.bench_function("figures/figure3_dot_n9", |b| {
+        let chain = coterie_markov::DynamicModel::grid(9, 1.0, 19.0).chain();
+        b.iter(|| black_box(chain.to_dot(|s| s.is_available()).len()))
+    });
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

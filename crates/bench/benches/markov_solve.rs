@@ -1,0 +1,33 @@
+//! Bench: GTH steady-state solving — the engine behind every availability
+//! number — including the exact structure-aware chain (E10).
+
+use coterie_markov::{exact_chain, stationary, DynamicModel};
+use coterie_quorum::GridCoterie;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_gth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gth_stationary");
+    for n in [9usize, 15, 30, 60] {
+        let chain = DynamicModel::grid(n, 1.0, 19.0).chain();
+        group.bench_with_input(
+            BenchmarkId::new("figure3_chain", format!("N{n}_{}states", chain.len())),
+            &chain,
+            |b, chain| b.iter(|| black_box(stationary(chain).unwrap())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_exact_chain(c: &mut Criterion) {
+    let rule = GridCoterie::new();
+    c.bench_function("exact_chain/build_and_solve_n6", |b| {
+        b.iter(|| {
+            let chain = exact_chain(&rule, black_box(6), 1.0, 19.0);
+            black_box(stationary(&chain).unwrap())
+        })
+    });
+}
+
+criterion_group!(benches, bench_gth, bench_exact_chain);
+criterion_main!(benches);

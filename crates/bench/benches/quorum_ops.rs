@@ -1,0 +1,64 @@
+//! Bench: the protocol's hot path — `coterie-rule(V, S)` evaluation and
+//! quorum selection, per rule and view size (backs E6's size claims with
+//! cost measurements).
+
+use coterie_quorum::{
+    CoterieRule, GridCoterie, MajorityCoterie, NodeSet, QuorumKind, RowaCoterie, TreeCoterie,
+    View,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn rules() -> Vec<(&'static str, Box<dyn CoterieRule>)> {
+    vec![
+        ("grid", Box::new(GridCoterie::new())),
+        ("majority", Box::new(MajorityCoterie::new())),
+        ("tree", Box::new(TreeCoterie::new())),
+        ("rowa", Box::new(RowaCoterie::new())),
+    ]
+}
+
+fn bench_is_quorum(c: &mut Criterion) {
+    let mut group = c.benchmark_group("is_write_quorum");
+    for n in [9usize, 25, 64, 100] {
+        let view = View::first_n(n);
+        // A set that is usually a quorum: the first ceil(2n/3) nodes.
+        let s = NodeSet::first_n(n * 2 / 3 + 1);
+        for (name, rule) in rules() {
+            group.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
+                b.iter(|| black_box(rule.is_write_quorum(&view, black_box(s))))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_pick_quorum(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pick_write_quorum");
+    for n in [9usize, 25, 100] {
+        let view = View::first_n(n);
+        for (name, rule) in rules() {
+            group.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed = seed.wrapping_add(1);
+                    black_box(rule.pick_quorum(&view, view.set(), seed, QuorumKind::Write))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_grid_define(c: &mut Criterion) {
+    c.bench_function("grid/define_grid_sweep_1_to_1024", |b| {
+        b.iter(|| {
+            for n in 1..=1024usize {
+                black_box(coterie_quorum::GridShape::define(black_box(n)));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_is_quorum, bench_pick_quorum, bench_grid_define);
+criterion_main!(benches);

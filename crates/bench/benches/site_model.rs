@@ -1,0 +1,47 @@
+//! Bench: Monte-Carlo site-model simulation throughput (the workhorse of
+//! E5, E9, and E10).
+
+use coterie_harness::{simulate, EpochDynamics, SiteModelConfig};
+use coterie_quorum::GridCoterie;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_site_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("site_model_horizon_2000");
+    for (name, dynamics) in [
+        ("idealized", EpochDynamics::Idealized { min_epoch: 3 }),
+        (
+            "exact_grid",
+            EpochDynamics::Exact {
+                rule: Arc::new(GridCoterie::new()),
+            },
+        ),
+        (
+            "static_grid",
+            EpochDynamics::Static {
+                rule: Arc::new(GridCoterie::new()),
+            },
+        ),
+    ] {
+        group.bench_with_input(BenchmarkId::new(name, 9), &dynamics, |b, dynamics| {
+            b.iter(|| {
+                let config = SiteModelConfig {
+                    n: 9,
+                    lambda: 1.0,
+                    mu: 1.5,
+                    dynamics: dynamics.clone(),
+                    check_rate: None,
+                    horizon: 2_000.0,
+                    warmup: 20.0,
+                    seed: 9,
+                };
+                black_box(simulate(&config).unavailability)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_site_model);
+criterion_main!(benches);

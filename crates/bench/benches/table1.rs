@@ -1,0 +1,29 @@
+//! Bench: regenerate the paper's Table 1 (E1). The measured work is the
+//! full analytic pipeline — best-grid search + closed forms for the static
+//! column, Figure 3 chain construction + GTH solve for the dynamic column.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1/full_regeneration_p095", |b| {
+        b.iter(|| {
+            let rows = coterie_harness::experiments::table1::compute(black_box(0.95));
+            assert_eq!(rows.len(), 7);
+            black_box(rows)
+        })
+    });
+    c.bench_function("table1/dynamic_column_only", |b| {
+        b.iter(|| {
+            for &n in &coterie_harness::experiments::table1::TABLE1_N {
+                let u = coterie_markov::DynamicModel::grid(n, 1.0, 19.0)
+                    .unavailability()
+                    .unwrap();
+                black_box(u);
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

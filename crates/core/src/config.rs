@@ -1,0 +1,184 @@
+//! Protocol configuration.
+
+use crate::election::InitiatorPolicy;
+use coterie_quorum::CoterieRule;
+use coterie_simnet::SimDuration;
+use std::sync::Arc;
+
+/// Whether epochs adjust dynamically (the paper's contribution) or stay
+/// fixed at the full replica set (the conventional static protocols).
+#[derive(Clone, Debug)]
+pub enum Mode {
+    /// Dynamic epochs: the epoch-check protocol runs periodically and
+    /// re-forms the epoch around detected failures and repairs.
+    Dynamic {
+        /// Target interval between epoch checks at the initiating node.
+        check_period: SimDuration,
+    },
+    /// Static protocol: the epoch is the full replica set forever and epoch
+    /// checking never runs. This is the conventional structured coterie
+    /// protocol the paper improves on.
+    Static,
+}
+
+/// How the coordinator handles replicas it cannot bring up to date inline.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WriteMode {
+    /// The paper's approach: apply the write to the current replicas of the
+    /// quorum and mark the others stale (asynchronous propagation catches
+    /// them up later).
+    StaleMarking,
+    /// The conventional approach the paper contrasts in §1: a write needs a
+    /// write quorum of *current* replicas, so the coordinator must
+    /// synchronously reconcile obsolete replicas whenever the current ones
+    /// alone do not form a quorum.
+    WriteAllCurrent,
+}
+
+/// All tunables of a replica node.
+#[derive(Clone)]
+pub struct ProtocolConfig {
+    /// The coterie rule shared by all nodes.
+    pub rule: Arc<dyn CoterieRule>,
+    /// Total number of replicas (node names are `0..n_replicas`).
+    pub n_replicas: usize,
+    /// Pages per data item.
+    pub n_pages: usize,
+    /// Write-log retention (entries) for incremental propagation.
+    pub log_cap: usize,
+    /// Dynamic or static epoch handling.
+    pub mode: Mode,
+    /// Stale-marking (paper) or write-all-current (baseline).
+    pub write_mode: WriteMode,
+    /// How long a coordinator waits for permission-phase responses before
+    /// treating silent nodes as failed.
+    pub collect_timeout: SimDuration,
+    /// How long a coordinator waits for 2PC votes.
+    pub vote_timeout: SimDuration,
+    /// How long a participant holds an unprepared lock before unilaterally
+    /// releasing it (guards against crashed coordinators).
+    pub lock_lease: SimDuration,
+    /// Base backoff before a contention retry; jittered and scaled by the
+    /// attempt number.
+    pub retry_backoff: SimDuration,
+    /// Retries after contention-induced failures before giving up.
+    pub max_retries: u32,
+    /// Maximum random delay a good replica waits before starting to
+    /// propagate (staggers the duplicate offers the paper's design allows).
+    pub propagation_jitter: SimDuration,
+    /// Delay between propagation attempts to an unreachable or busy target.
+    pub propagation_retry: SimDuration,
+    /// How long a recovered participant waits between decision queries for
+    /// an in-doubt transaction.
+    pub decision_retry: SimDuration,
+    /// If true, propagation locks both replicas for the transfer, exactly
+    /// as the paper's §4.2 pseudo-code does — and, as the paper admits,
+    /// "the propagation can interfere with write operations". The default
+    /// (false) is the optimization the paper sketches ("various logging
+    /// techniques can be employed to avoid using the same lock"): log
+    /// shipping without replica locks, fenced by version-contiguity checks
+    /// and refused while a two-phase commit is touching the target.
+    pub lock_propagation: bool,
+    /// §4.1's safety threshold: when a committing write has fewer good
+    /// (current) participants than this, the coordinator best-effort
+    /// includes additional current replicas from the previous write's
+    /// recorded good list — "no permission from these additional replicas
+    /// is needed, so there are no additional rounds of message exchange".
+    /// This provides "unconditional resilience to any number of
+    /// simultaneous node failures less than the safety threshold". Zero
+    /// disables the mechanism.
+    pub safety_threshold: usize,
+    /// How the epoch-check initiator is chosen (§4.3 / [7]).
+    pub initiator: InitiatorPolicy,
+}
+
+impl std::fmt::Debug for ProtocolConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProtocolConfig")
+            .field("rule", &self.rule.name())
+            .field("n_replicas", &self.n_replicas)
+            .field("n_pages", &self.n_pages)
+            .field("mode", &self.mode)
+            .field("write_mode", &self.write_mode)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ProtocolConfig {
+    /// A sensible default configuration for `n_replicas` nodes under the
+    /// given coterie rule, with dynamic epochs checked every 10 s of
+    /// simulated time.
+    pub fn new(rule: Arc<dyn CoterieRule>, n_replicas: usize) -> Self {
+        ProtocolConfig {
+            rule,
+            n_replicas,
+            n_pages: 16,
+            log_cap: 64,
+            mode: Mode::Dynamic {
+                check_period: SimDuration::from_secs(10),
+            },
+            write_mode: WriteMode::StaleMarking,
+            collect_timeout: SimDuration::from_millis(50),
+            vote_timeout: SimDuration::from_millis(50),
+            lock_lease: SimDuration::from_millis(500),
+            retry_backoff: SimDuration::from_millis(10),
+            max_retries: 6,
+            propagation_jitter: SimDuration::from_millis(20),
+            propagation_retry: SimDuration::from_millis(200),
+            decision_retry: SimDuration::from_millis(100),
+            lock_propagation: false,
+            safety_threshold: 2,
+            initiator: InitiatorPolicy::RankStagger,
+        }
+    }
+
+    /// Switches to the static (conventional) protocol.
+    pub fn static_mode(mut self) -> Self {
+        self.mode = Mode::Static;
+        self
+    }
+
+    /// Switches to the write-all-current baseline.
+    pub fn write_all_current(mut self) -> Self {
+        self.write_mode = WriteMode::WriteAllCurrent;
+        self
+    }
+
+    /// Sets the epoch-check period (implies dynamic mode).
+    pub fn check_period(mut self, period: SimDuration) -> Self {
+        self.mode = Mode::Dynamic {
+            check_period: period,
+        };
+        self
+    }
+
+    /// Sets the number of pages per object.
+    pub fn pages(mut self, n: usize) -> Self {
+        self.n_pages = n;
+        self
+    }
+
+    /// Sets the write-log retention.
+    pub fn log_capacity(mut self, cap: usize) -> Self {
+        self.log_cap = cap;
+        self
+    }
+
+    /// Uses the paper's literal locking propagation (ablation baseline).
+    pub fn locking_propagation(mut self) -> Self {
+        self.lock_propagation = true;
+        self
+    }
+
+    /// Sets the §4.1 safety threshold (0 disables).
+    pub fn safety(mut self, threshold: usize) -> Self {
+        self.safety_threshold = threshold;
+        self
+    }
+
+    /// Uses the bully election [7] to choose the epoch-check initiator.
+    pub fn bully_election(mut self) -> Self {
+        self.initiator = InitiatorPolicy::Bully;
+        self
+    }
+}

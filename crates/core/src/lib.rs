@@ -1,0 +1,80 @@
+#![warn(missing_docs)]
+
+//! # coterie-core
+//!
+//! The dynamic structured coterie protocol of Rabinovich & Lazowska
+//! (SIGMOD 1992, "Improving Fault Tolerance and Supporting Partial Writes
+//! in Structured Coterie Protocols for Replicated Objects").
+//!
+//! Every replica runs a [`ReplicaNode`], an event-driven state machine over
+//! the [`coterie_simnet`] substrate that implements:
+//!
+//! * the **write protocol** (§4.1): quorum permission over the current
+//!   epoch, the common light path, `HeavyProcedure` when the light quorum
+//!   fails, stale marking with desired version numbers, and two-phase
+//!   commit;
+//! * the **read protocol**: shared-lock quorum, current-replica selection
+//!   honoring desired version numbers, and a single data fetch;
+//! * the **propagation protocol** (§4.2): asynchronous catch-up of stale
+//!   replicas by log shipping or snapshots, with the three-way offer
+//!   handshake;
+//! * the **epoch checking protocol** (§4.3): periodic all-replica polls that
+//!   atomically re-form the epoch around failures and repairs — this is
+//!   what makes a structured coterie protocol *dynamic*;
+//! * the **static baselines**: the conventional static protocol
+//!   ([`Mode::Static`]) and the conventional partial-write discipline
+//!   ([`WriteMode::WriteAllCurrent`]) the paper compares against.
+//!
+//! The protocol is generic over the coterie rule: plugging in
+//! [`coterie_quorum::GridCoterie`] yields the paper's *dynamic grid
+//! protocol*; [`coterie_quorum::MajorityCoterie`] yields dynamic voting.
+//!
+//! ```
+//! use coterie_core::{ClientRequest, PartialWrite, ProtocolConfig, ReplicaNode};
+//! use coterie_quorum::{GridCoterie, NodeId};
+//! use coterie_simnet::{Sim, SimConfig, SimDuration, SimTime};
+//! use std::sync::Arc;
+//!
+//! let config = ProtocolConfig::new(Arc::new(GridCoterie::new()), 9);
+//! let mut sim = Sim::new(9, SimConfig::default(), |id| {
+//!     ReplicaNode::new(id, config.clone())
+//! });
+//! sim.schedule_external(
+//!     SimTime::ZERO,
+//!     NodeId(0),
+//!     ClientRequest::Write {
+//!         id: 1,
+//!         write: PartialWrite::new([(0, bytes::Bytes::from_static(b"hello"))]),
+//!     },
+//! );
+//! sim.run_for(SimDuration::from_secs(1));
+//! let outputs = sim.take_outputs();
+//! assert!(outputs
+//!     .iter()
+//!     .any(|(_, _, e)| matches!(e, coterie_core::ProtocolEvent::WriteOk { .. })));
+//! ```
+
+pub mod classify;
+pub mod config;
+pub mod election;
+pub mod epoch;
+pub mod locks;
+pub mod msg;
+pub mod node;
+pub mod propagate;
+pub mod read;
+mod router;
+pub mod server;
+pub mod store;
+pub mod write;
+
+pub use classify::Classified;
+pub use config::{Mode, ProtocolConfig, WriteMode};
+pub use election::InitiatorPolicy;
+pub use locks::{LockGrant, ReplicaLock};
+pub use msg::{
+    Action, ClientRequest, FailReason, Msg, MsgClass, OpId, PropPayload, PropReply,
+    ProtocolEvent, StateTuple,
+};
+pub use node::{Durable, NodeStats, ReplicaNode, Timer, Volatile};
+pub use store::{LogEntry, PageId, PagedObject, PartialWrite, WriteLog};

@@ -1,0 +1,183 @@
+//! Per-replica locking.
+//!
+//! Each node that receives a permission request "obtains a lock for its
+//! replica and responds with its state" (§4.1). The paper leaves deadlock
+//! handling open ("For ways to handle deadlocks see for example [2]"); we
+//! use *no-wait* locking: a request that cannot be granted immediately is
+//! refused, and the coordinator aborts and retries with backoff. No-wait
+//! systems cannot deadlock because no transaction ever holds one lock while
+//! waiting for another.
+
+use crate::msg::OpId;
+use std::collections::HashSet;
+
+/// The lock state of one replica.
+#[derive(Clone, Debug, Default)]
+pub struct ReplicaLock {
+    exclusive: Option<OpId>,
+    shared: HashSet<OpId>,
+}
+
+/// Result of a lock attempt.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LockGrant {
+    /// Lock acquired (or already held by the same operation).
+    Granted,
+    /// Refused: held incompatibly by other operations.
+    Busy,
+}
+
+impl ReplicaLock {
+    /// A free lock.
+    pub fn new() -> Self {
+        ReplicaLock::default()
+    }
+
+    /// Attempts to take the exclusive lock for `op`.
+    pub fn try_exclusive(&mut self, op: OpId) -> LockGrant {
+        if self.exclusive == Some(op) {
+            return LockGrant::Granted;
+        }
+        if self.exclusive.is_none() && self.shared.is_empty() {
+            self.exclusive = Some(op);
+            LockGrant::Granted
+        } else {
+            LockGrant::Busy
+        }
+    }
+
+    /// Attempts to take a shared lock for `op`.
+    pub fn try_shared(&mut self, op: OpId) -> LockGrant {
+        if self.shared.contains(&op) {
+            return LockGrant::Granted;
+        }
+        if self.exclusive.is_none() {
+            self.shared.insert(op);
+            LockGrant::Granted
+        } else {
+            LockGrant::Busy
+        }
+    }
+
+    /// Forces the exclusive lock for `op`, evicting any other holders.
+    /// Used only during crash recovery to fence a prepared-but-undecided
+    /// transaction: volatile lock state was lost, but the prepared action
+    /// must keep the replica locked until the outcome is known.
+    pub fn force_exclusive(&mut self, op: OpId) {
+        self.exclusive = Some(op);
+        self.shared.clear();
+    }
+
+    /// Releases whatever `op` holds. Unknown ops are a no-op (idempotent,
+    /// so duplicate releases and releases after a lease expiry are safe).
+    pub fn release(&mut self, op: OpId) {
+        if self.exclusive == Some(op) {
+            self.exclusive = None;
+        }
+        self.shared.remove(&op);
+    }
+
+    /// Whether `op` currently holds the exclusive lock.
+    pub fn held_exclusively_by(&self, op: OpId) -> bool {
+        self.exclusive == Some(op)
+    }
+
+    /// Whether `op` currently holds a shared lock.
+    pub fn held_shared_by(&self, op: OpId) -> bool {
+        self.shared.contains(&op)
+    }
+
+    /// Whether the replica is locked at all.
+    pub fn is_locked(&self) -> bool {
+        self.exclusive.is_some() || !self.shared.is_empty()
+    }
+
+    /// The current exclusive holder, if any.
+    pub fn exclusive_holder(&self) -> Option<OpId> {
+        self.exclusive
+    }
+
+    /// Clears all lock state (volatile; called on crash).
+    pub fn clear(&mut self) {
+        self.exclusive = None;
+        self.shared.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coterie_quorum::NodeId;
+
+    fn op(n: u32, s: u64) -> OpId {
+        OpId {
+            node: NodeId(n),
+            seq: s,
+        }
+    }
+
+    #[test]
+    fn exclusive_excludes_everything() {
+        let mut l = ReplicaLock::new();
+        assert_eq!(l.try_exclusive(op(0, 1)), LockGrant::Granted);
+        assert_eq!(l.try_exclusive(op(1, 1)), LockGrant::Busy);
+        assert_eq!(l.try_shared(op(1, 1)), LockGrant::Busy);
+        assert!(l.held_exclusively_by(op(0, 1)));
+        assert!(l.is_locked());
+    }
+
+    #[test]
+    fn shared_locks_coexist_but_block_writers() {
+        let mut l = ReplicaLock::new();
+        assert_eq!(l.try_shared(op(0, 1)), LockGrant::Granted);
+        assert_eq!(l.try_shared(op(1, 1)), LockGrant::Granted);
+        assert_eq!(l.try_exclusive(op(2, 1)), LockGrant::Busy);
+        l.release(op(0, 1));
+        assert_eq!(l.try_exclusive(op(2, 1)), LockGrant::Busy);
+        l.release(op(1, 1));
+        assert_eq!(l.try_exclusive(op(2, 1)), LockGrant::Granted);
+    }
+
+    #[test]
+    fn reacquisition_is_idempotent() {
+        let mut l = ReplicaLock::new();
+        assert_eq!(l.try_exclusive(op(0, 1)), LockGrant::Granted);
+        assert_eq!(l.try_exclusive(op(0, 1)), LockGrant::Granted);
+        assert_eq!(l.try_shared(op(1, 1)), LockGrant::Busy);
+        l.release(op(0, 1));
+        assert_eq!(l.try_shared(op(1, 1)), LockGrant::Granted);
+        assert_eq!(l.try_shared(op(1, 1)), LockGrant::Granted);
+        assert!(l.held_shared_by(op(1, 1)));
+    }
+
+    #[test]
+    fn release_is_idempotent_and_targeted() {
+        let mut l = ReplicaLock::new();
+        l.try_shared(op(0, 1));
+        l.release(op(9, 9)); // unknown: no-op
+        assert!(l.is_locked());
+        l.release(op(0, 1));
+        l.release(op(0, 1));
+        assert!(!l.is_locked());
+    }
+
+    #[test]
+    fn force_exclusive_evicts() {
+        let mut l = ReplicaLock::new();
+        l.try_shared(op(0, 1));
+        l.try_shared(op(1, 1));
+        l.force_exclusive(op(7, 7));
+        assert!(l.held_exclusively_by(op(7, 7)));
+        assert!(!l.held_shared_by(op(0, 1)));
+        assert_eq!(l.try_shared(op(2, 2)), LockGrant::Busy);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut l = ReplicaLock::new();
+        l.try_exclusive(op(0, 1));
+        l.clear();
+        assert!(!l.is_locked());
+        assert_eq!(l.try_shared(op(3, 3)), LockGrant::Granted);
+    }
+}

@@ -1,0 +1,369 @@
+//! Protocol messages, operation identifiers, and client-facing types.
+
+use crate::store::{LogEntry, PartialWrite};
+use bytes::Bytes;
+use coterie_quorum::NodeId;
+
+/// Globally unique operation identifier: the coordinating node plus a
+/// durable per-node sequence number (so ids stay unique across crashes).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct OpId {
+    /// Coordinating node.
+    pub node: NodeId,
+    /// Durable per-node sequence number.
+    pub seq: u64,
+}
+
+/// The per-replica state tuple exchanged in permission and epoch-check
+/// responses — the paper's
+/// `(node, version, dversion, stale, elist, enumber)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StateTuple {
+    /// Responding node.
+    pub node: NodeId,
+    /// Replica version number.
+    pub version: u64,
+    /// Desired version number (meaningful only when `stale`).
+    pub dversion: u64,
+    /// Stale-data flag.
+    pub stale: bool,
+    /// The responder's current epoch list.
+    pub elist: Vec<NodeId>,
+    /// The responder's epoch number.
+    pub enumber: u64,
+    /// The good-replica list recorded by the most recent write this
+    /// replica participated in (§4.1's safety-threshold extension: "the
+    /// list of 'good' replicas is recorded in every node participating in
+    /// a write operation").
+    pub last_good: Vec<NodeId>,
+}
+
+/// The payload of a two-phase-commit `Prepare`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Action {
+    /// Apply `write` and move to `new_version`; the recipient is one of the
+    /// "good" (current) replicas. `stale` is the piggybacked list of nodes
+    /// being marked stale, which the recipient must asynchronously bring up
+    /// to date (the paper's update-propagation trigger).
+    DoUpdate {
+        /// The (partial) write to apply.
+        write: PartialWrite,
+        /// Version the replica reaches after applying.
+        new_version: u64,
+        /// Nodes being marked stale by this write.
+        stale: Vec<NodeId>,
+        /// The full good list of this write (recorded durably by every
+        /// participant so later coordinators can find extra current
+        /// replicas — the paper's safety-threshold mechanism).
+        good: Vec<NodeId>,
+        /// Synchronous-reconciliation base: a full snapshot (pages and its
+        /// version) the recipient must restore *before* applying `write`.
+        /// Only the write-all-current baseline uses this — it is exactly
+        /// the "synchronously bringing the obsolete replicas up-to-date"
+        /// cost the paper's stale-marking design avoids.
+        base: Option<(Vec<Bytes>, u64)>,
+    },
+    /// Become stale with the given desired version number.
+    MarkStale {
+        /// The version the current replicas will have after this write; the
+        /// recipient may only accept propagation from replicas at or above
+        /// this version.
+        desired_version: u64,
+    },
+    /// Install a new epoch (the epoch-checking operation's atomic commit).
+    NewEpoch {
+        /// Members of the new epoch, in name order.
+        list: Vec<NodeId>,
+        /// The new epoch number.
+        enumber: u64,
+        /// Members holding the most recent version.
+        good: Vec<NodeId>,
+        /// Members being marked stale.
+        stale: Vec<NodeId>,
+        /// Desired version for the stale members (`max-version`).
+        desired_version: u64,
+    },
+}
+
+/// Propagation offer replies (the paper's three-way response).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PropReply {
+    /// Propagation already underway with another source.
+    AlreadyRecovering,
+    /// The target is not stale (or cannot use this source).
+    IAmCurrent,
+    /// Propagation may proceed; the target is locked and reports its
+    /// current version so the source can ship just the missing suffix.
+    Permitted {
+        /// The target replica's current version.
+        target_version: u64,
+    },
+}
+
+/// Propagation payload: either the missing log suffix or a full snapshot.
+#[derive(Clone, Debug)]
+pub enum PropPayload {
+    /// Replay these log entries in order.
+    Updates {
+        /// Log entries with versions contiguous from the target's version.
+        entries: Vec<LogEntry>,
+    },
+    /// Replace the object wholesale.
+    Snapshot {
+        /// Page contents.
+        pages: Vec<Bytes>,
+        /// Version of the snapshot.
+        version: u64,
+    },
+}
+
+/// All messages exchanged between replicas.
+#[derive(Clone, Debug)]
+pub enum Msg {
+    /// Request permission (and an exclusive lock) for a write.
+    WriteReq {
+        /// The requesting operation.
+        op: OpId,
+    },
+    /// Request permission (and a shared lock) for a read.
+    ReadReq {
+        /// The requesting operation.
+        op: OpId,
+    },
+    /// Epoch-check poll (no lock taken).
+    EpochCheckReq {
+        /// The epoch-check operation.
+        op: OpId,
+    },
+    /// Reply to `WriteReq`/`ReadReq`/`EpochCheckReq` with the replica's
+    /// state tuple. `granted` is false when the lock could not be taken
+    /// (no-wait locking; the coordinator backs off and retries).
+    StateResp {
+        /// The operation being answered.
+        op: OpId,
+        /// Whether the lock was granted (always true for epoch checks).
+        granted: bool,
+        /// The replica's state tuple.
+        state: StateTuple,
+    },
+    /// Release a lock held by `op` (abort or read completion).
+    Release {
+        /// The operation whose lock to release.
+        op: OpId,
+    },
+    /// Two-phase commit: prepare `action`.
+    Prepare {
+        /// The coordinating operation.
+        op: OpId,
+        /// The action to prepare.
+        action: Action,
+    },
+    /// Two-phase commit: participant vote.
+    Vote {
+        /// The operation voted on.
+        op: OpId,
+        /// True to commit.
+        yes: bool,
+    },
+    /// Two-phase commit: coordinator decision.
+    Decision {
+        /// The decided operation.
+        op: OpId,
+        /// True to commit, false to abort.
+        commit: bool,
+    },
+    /// A recovered participant asking the coordinator for the outcome of a
+    /// prepared-but-undecided operation.
+    DecisionQuery {
+        /// The in-doubt operation.
+        op: OpId,
+    },
+    /// Read phase 2: fetch the object from the chosen current replica.
+    FetchReq {
+        /// The reading operation.
+        op: OpId,
+    },
+    /// Reply to `FetchReq`.
+    FetchResp {
+        /// The reading operation.
+        op: OpId,
+        /// Version of the returned snapshot.
+        version: u64,
+        /// Page contents.
+        pages: Vec<Bytes>,
+    },
+    /// Propagation offer from a good replica (the paper's
+    /// `propagation-offer` with the source's version number).
+    PropOffer {
+        /// Identifier of this propagation attempt.
+        prop: OpId,
+        /// The source replica's version.
+        version: u64,
+    },
+    /// Reply to a propagation offer.
+    PropResp {
+        /// The propagation attempt.
+        prop: OpId,
+        /// The three-way reply.
+        reply: PropReply,
+    },
+    /// The propagation data transfer.
+    PropData {
+        /// The propagation attempt.
+        prop: OpId,
+        /// Missing updates or a snapshot.
+        payload: PropPayload,
+        /// The source's version (the target's version after applying).
+        source_version: u64,
+    },
+    /// Target acknowledges (or rejects) the propagation transfer.
+    PropAck {
+        /// The propagation attempt.
+        prop: OpId,
+        /// Whether the transfer was applied.
+        ok: bool,
+    },
+    /// Source abandons a permitted propagation (e.g. its own replica is
+    /// busy); the target unlocks.
+    PropCancel {
+        /// The propagation attempt.
+        prop: OpId,
+    },
+    /// Bully election: a challenge to all higher-named nodes.
+    Election {
+        /// Challenge round id.
+        round: OpId,
+    },
+    /// Bully election: "I am alive and higher; defer to me."
+    ElectionAlive {
+        /// The challenged round.
+        round: OpId,
+    },
+    /// Bully election: the sender announces itself as the epoch-check
+    /// coordinator.
+    Coordinator,
+}
+
+impl Msg {
+    /// Coarse message-class label used by the traffic metrics.
+    pub fn class(&self) -> MsgClass {
+        match self {
+            Msg::WriteReq { .. } | Msg::ReadReq { .. } | Msg::StateResp { .. } | Msg::Release { .. } => {
+                MsgClass::Permission
+            }
+            Msg::Prepare { .. } | Msg::Vote { .. } | Msg::Decision { .. } | Msg::DecisionQuery { .. } => {
+                MsgClass::Commit
+            }
+            Msg::FetchReq { .. } | Msg::FetchResp { .. } => MsgClass::Fetch,
+            Msg::PropOffer { .. }
+            | Msg::PropResp { .. }
+            | Msg::PropData { .. }
+            | Msg::PropAck { .. }
+            | Msg::PropCancel { .. } => MsgClass::Propagation,
+            Msg::EpochCheckReq { .. }
+            | Msg::Election { .. }
+            | Msg::ElectionAlive { .. }
+            | Msg::Coordinator => MsgClass::EpochCheck,
+        }
+    }
+}
+
+/// Coarse message classes for traffic accounting.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum MsgClass {
+    /// Quorum permission traffic (requests, state responses, releases).
+    Permission,
+    /// Two-phase-commit traffic.
+    Commit,
+    /// Read data fetches.
+    Fetch,
+    /// Update propagation traffic.
+    Propagation,
+    /// Epoch checking traffic.
+    EpochCheck,
+}
+
+/// Client-facing request, injected at a coordinator node.
+#[derive(Clone, Debug)]
+pub enum ClientRequest {
+    /// Read the object.
+    Read {
+        /// Client-chosen request id, echoed in the response.
+        id: u64,
+    },
+    /// Apply a partial write.
+    Write {
+        /// Client-chosen request id, echoed in the response.
+        id: u64,
+        /// The pages to update.
+        write: PartialWrite,
+    },
+}
+
+/// Why an operation failed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FailReason {
+    /// Could not assemble a quorum of reachable replicas.
+    NoQuorum,
+    /// A quorum responded but no sufficiently current replica was reachable
+    /// (`max-dversion > max-version`).
+    NoCurrentReplica,
+    /// Lock contention persisted through all retries.
+    Contention,
+    /// The two-phase commit aborted and the retry budget is exhausted.
+    CommitFailed,
+}
+
+/// Client-facing response / observable protocol event.
+#[derive(Clone, Debug)]
+pub enum ProtocolEvent {
+    /// A read completed.
+    ReadOk {
+        /// Echoed request id.
+        id: u64,
+        /// Version read.
+        version: u64,
+        /// Digest of the returned object (for the consistency checker).
+        digest: u64,
+        /// The page contents.
+        pages: Vec<Bytes>,
+    },
+    /// A write committed.
+    WriteOk {
+        /// Echoed request id.
+        id: u64,
+        /// The version the write produced.
+        version: u64,
+        /// How many replicas the coordinator applied/marked in the quorum.
+        replicas_touched: usize,
+        /// How many replicas were marked stale.
+        marked_stale: usize,
+    },
+    /// An operation failed.
+    Failed {
+        /// Echoed request id.
+        id: u64,
+        /// Why.
+        reason: FailReason,
+    },
+    /// A new epoch was installed at this node.
+    EpochInstalled {
+        /// The epoch number.
+        enumber: u64,
+        /// The members.
+        members: Vec<NodeId>,
+    },
+    /// This node finished propagating updates to a stale replica.
+    Propagated {
+        /// The replica brought up to date.
+        target: NodeId,
+        /// The version it reached.
+        version: u64,
+    },
+    /// A synchronous reconciliation was needed (write-all-current baseline
+    /// only; the paper's protocol never does this).
+    SyncReconciliation {
+        /// Nodes reconciled synchronously.
+        targets: usize,
+    },
+}

@@ -1,0 +1,432 @@
+//! The replica node: durable and volatile state, and the event dispatch
+//! that wires the protocol modules into the simulator's [`Application`]
+//! interface.
+
+use crate::config::{Mode, ProtocolConfig};
+use crate::election::ElectionState;
+use crate::epoch::EpochCoordinator;
+use crate::locks::ReplicaLock;
+use crate::msg::{Action, ClientRequest, Msg, MsgClass, OpId, ProtocolEvent};
+use crate::propagate::{IncomingProp, Propagator};
+use crate::read::ReadCoordinator;
+use crate::store::{PagedObject, WriteLog};
+use crate::write::WriteCoordinator;
+use coterie_quorum::{NodeId, View};
+use coterie_simnet::{Application, Ctx, SimDuration, SimTime, TimerId};
+use std::collections::HashMap;
+
+/// Timers used by the protocol.
+#[derive(Clone, Debug)]
+pub enum Timer {
+    /// Permission-phase collection timeout for a coordinated operation.
+    Collect {
+        /// The operation.
+        op: OpId,
+    },
+    /// Two-phase-commit vote timeout.
+    Votes {
+        /// The operation.
+        op: OpId,
+    },
+    /// Read fetch timeout.
+    Fetch {
+        /// The operation.
+        op: OpId,
+    },
+    /// Retry a failed client request after contention backoff.
+    RetryClient {
+        /// Attempt number (1-based for the first retry).
+        attempt: u32,
+        /// The original request to re-run.
+        request: ClientRequest,
+    },
+    /// Server-side lock lease expiry.
+    LockLease {
+        /// The holding operation.
+        op: OpId,
+    },
+    /// Periodic check: should this node initiate an epoch check?
+    EpochTick,
+    /// One-shot fast retry after an aborted epoch change (does not re-arm
+    /// the periodic chain).
+    EpochRetry,
+    /// Continue the propagation task.
+    PropKick,
+    /// A propagation offer or transfer went unanswered.
+    PropTimeout {
+        /// The propagation attempt.
+        prop: OpId,
+    },
+    /// Target-side guard: a permitted propagation never completed.
+    PropLease {
+        /// The propagation attempt.
+        prop: OpId,
+    },
+    /// A recovered participant re-asks the coordinator for an outcome.
+    DecisionRetry {
+        /// The in-doubt operation.
+        op: OpId,
+    },
+    /// Bully election: answer/announcement window elapsed.
+    ElectionTimeout {
+        /// The challenge round.
+        round: OpId,
+    },
+}
+
+/// State that survives crashes (the paper's per-node protocol state of
+/// §4 — version number, epoch number, stale flag, desired version, epoch
+/// list — plus the object, the propagation log, and the 2PC artifacts that
+/// textbook atomic commit requires to be durable).
+#[derive(Clone, Debug)]
+pub struct Durable {
+    /// Replica version number.
+    pub version: u64,
+    /// Stale-data flag.
+    pub stale: bool,
+    /// Desired version number (meaningful only when `stale`).
+    pub dversion: u64,
+    /// Epoch number.
+    pub enumber: u64,
+    /// The epoch list (current epoch members, name-ordered).
+    pub elist: Vec<NodeId>,
+    /// The data item.
+    pub object: PagedObject,
+    /// Recent writes, for incremental propagation.
+    pub log: WriteLog,
+    /// A prepared-but-undecided 2PC action, if any. At most one can exist
+    /// because preparing requires the exclusive replica lock.
+    pub prepared: Option<(OpId, Action)>,
+    /// Commit/abort decisions this node made as a 2PC coordinator.
+    pub decisions: HashMap<OpId, bool>,
+    /// Monotonic operation counter (durable so op ids stay unique).
+    pub op_counter: u64,
+    /// Good list recorded by the most recent write this replica
+    /// participated in (safety-threshold extension, §4.1).
+    pub last_good: Vec<NodeId>,
+}
+
+impl Durable {
+    fn new(config: &ProtocolConfig) -> Self {
+        Durable {
+            version: 0,
+            stale: false,
+            dversion: 0,
+            enumber: 0,
+            elist: (0..config.n_replicas as u32).map(NodeId).collect(),
+            object: PagedObject::new(config.n_pages),
+            log: WriteLog::new(config.log_cap),
+            prepared: None,
+            decisions: HashMap::new(),
+            op_counter: 0,
+            last_good: Vec::new(),
+        }
+    }
+
+    /// The epoch list as a [`View`].
+    pub fn epoch_view(&self) -> View {
+        View::new(self.elist.iter().copied())
+    }
+}
+
+/// State wiped by a crash.
+#[derive(Default)]
+pub struct Volatile {
+    /// The replica lock.
+    pub lock: ReplicaLock,
+    /// Lock-lease timers, by holder.
+    pub lock_leases: HashMap<OpId, TimerId>,
+    /// Write operations this node is coordinating.
+    pub writes: HashMap<OpId, WriteCoordinator>,
+    /// Read operations this node is coordinating.
+    pub reads: HashMap<OpId, ReadCoordinator>,
+    /// Epoch checks this node is coordinating.
+    pub epochs: HashMap<OpId, EpochCoordinator>,
+    /// Outgoing propagation state.
+    pub propagator: Propagator,
+    /// Incoming (target-side) propagation state.
+    pub incoming_prop: Option<IncomingProp>,
+    /// A `NewEpoch` prepare waiting for the replica lock. Epoch prepares
+    /// are the only lock waiters in the system: writes and reads stay
+    /// no-wait, so no hold-and-wait cycle (and hence no deadlock) can
+    /// form, while epoch changes stop starving under write load.
+    pub pending_epoch_prepare: Option<(OpId, NodeId, Action)>,
+    /// When this node last saw an epoch check (initiation suppression).
+    pub last_epoch_check_seen: Option<SimTime>,
+    /// True while this node has an epoch check of its own in flight.
+    pub epoch_check_active: bool,
+    /// True while a one-shot epoch retry timer is pending.
+    pub epoch_retry_armed: bool,
+    /// Ops with a pending decision-retry timer (prevents duplicate chains).
+    pub decision_retry_armed: std::collections::HashSet<OpId>,
+    /// Bully-election state (used when `initiator` is `Bully`).
+    pub election: ElectionState,
+}
+
+/// Cumulative per-node counters. Not protocol state: kept across crashes so
+/// the harness reads totals for the whole run.
+#[derive(Clone, Debug, Default)]
+pub struct NodeStats {
+    /// Committed writes coordinated by this node.
+    pub writes_ok: u64,
+    /// Failed writes coordinated by this node (after retries).
+    pub writes_failed: u64,
+    /// Completed reads coordinated by this node.
+    pub reads_ok: u64,
+    /// Failed reads coordinated by this node.
+    pub reads_failed: u64,
+    /// Client-level retries due to contention.
+    pub retries: u64,
+    /// Times the heavy procedure ran.
+    pub heavy_runs: u64,
+    /// Replicas written or marked per committed write (sum, for averaging).
+    pub replicas_touched_sum: u64,
+    /// Replicas marked stale (sum over committed writes).
+    pub marked_stale_sum: u64,
+    /// Synchronous reconciliations (write-all-current baseline only).
+    pub sync_reconciliations: u64,
+    /// Propagations completed with this node as the source.
+    pub propagations_done: u64,
+    /// Epoch changes committed with this node as the coordinator.
+    pub epoch_changes: u64,
+    /// Messages received, by class.
+    pub msgs_in: HashMap<MsgClass, u64>,
+    /// `CallFailed` bounces, by class of the undeliverable message.
+    pub msgs_bounced: HashMap<MsgClass, u64>,
+}
+
+impl NodeStats {
+    /// Total messages received across classes.
+    pub fn msgs_in_total(&self) -> u64 {
+        self.msgs_in.values().sum()
+    }
+}
+
+/// A replica node running the dynamic structured coterie protocol.
+pub struct ReplicaNode {
+    /// This node's name.
+    pub me: NodeId,
+    /// Shared configuration.
+    pub config: ProtocolConfig,
+    /// Crash-surviving state.
+    pub durable: Durable,
+    /// Crash-wiped state.
+    pub vol: Volatile,
+    /// Run-long counters (measurement only).
+    pub stats: NodeStats,
+}
+
+/// Context alias used by all protocol handlers.
+pub type NodeCtx<'a> = Ctx<'a, ReplicaNode>;
+
+impl ReplicaNode {
+    /// Creates a node with pristine durable state.
+    pub fn new(me: NodeId, config: ProtocolConfig) -> Self {
+        let durable = Durable::new(&config);
+        ReplicaNode {
+            me,
+            config,
+            durable,
+            vol: Volatile::default(),
+            stats: NodeStats::default(),
+        }
+    }
+
+    /// Allocates a fresh operation id.
+    pub fn next_op(&mut self) -> OpId {
+        self.durable.op_counter += 1;
+        OpId {
+            node: self.me,
+            seq: self.durable.op_counter,
+        }
+    }
+
+    /// All replica names.
+    pub fn all_nodes(&self) -> Vec<NodeId> {
+        (0..self.config.n_replicas as u32).map(NodeId).collect()
+    }
+
+    /// Arms (or re-arms) the lock lease for `op`.
+    pub fn arm_lock_lease(&mut self, ctx: &mut NodeCtx<'_>, op: OpId) {
+        let lease = self.config.lock_lease;
+        let id = ctx.set_timer(lease, Timer::LockLease { op });
+        self.vol.lock_leases.insert(op, id);
+    }
+
+    /// Releases `op`'s lock and lease bookkeeping, then hands the lock to
+    /// a waiting epoch prepare if one is queued.
+    pub fn release_lock(&mut self, ctx: &mut NodeCtx<'_>, op: OpId) {
+        self.vol.lock.release(op);
+        if let Some(timer) = self.vol.lock_leases.remove(&op) {
+            ctx.cancel_timer(timer);
+        }
+        self.grant_pending_epoch_prepare(ctx);
+    }
+
+    fn handle_lock_lease(&mut self, ctx: &mut NodeCtx<'_>, op: OpId) {
+        self.vol.lock_leases.remove(&op);
+        // Never break a prepared transaction's lock: 2PC blocks until the
+        // outcome is known (textbook behaviour).
+        if let Some((prep_op, _)) = &self.durable.prepared {
+            if *prep_op == op {
+                self.arm_lock_lease(ctx, op);
+                return;
+            }
+        }
+        self.vol.lock.release(op);
+        self.grant_pending_epoch_prepare(ctx);
+    }
+}
+
+impl Application for ReplicaNode {
+    type Msg = Msg;
+    type Timer = Timer;
+    type External = ClientRequest;
+    type Output = ProtocolEvent;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Self>) {
+        // Fence any in-doubt prepared transaction behind the replica lock
+        // and chase its outcome.
+        if let Some((op, _)) = self.durable.prepared.clone() {
+            self.vol.lock.force_exclusive(op);
+            self.arm_decision_retry(ctx, op);
+        }
+        if matches!(self.config.mode, Mode::Dynamic { .. }) {
+            self.arm_epoch_tick(ctx);
+        }
+    }
+
+    fn on_crash(&mut self) {
+        self.vol = Volatile::default();
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Self>, from: NodeId, msg: Msg) {
+        *self.stats.msgs_in.entry(msg.class()).or_insert(0) += 1;
+        match msg {
+            Msg::WriteReq { op } => self.srv_write_req(ctx, from, op),
+            Msg::ReadReq { op } => self.srv_read_req(ctx, from, op),
+            Msg::EpochCheckReq { op } => self.srv_epoch_check_req(ctx, from, op),
+            Msg::StateResp { op, granted, state } => {
+                self.on_state_resp(ctx, from, op, granted, state)
+            }
+            Msg::Release { op } => self.release_lock(ctx, op),
+            Msg::Prepare { op, action } => self.srv_prepare(ctx, from, op, action),
+            Msg::Vote { op, yes } => self.on_vote(ctx, from, op, yes),
+            Msg::Decision { op, commit } => self.srv_decision(ctx, from, op, commit),
+            Msg::DecisionQuery { op } => self.srv_decision_query(ctx, from, op),
+            Msg::FetchReq { op } => self.srv_fetch_req(ctx, from, op),
+            Msg::FetchResp { op, version, pages } => {
+                self.on_fetch_resp(ctx, from, op, version, pages)
+            }
+            Msg::PropOffer { prop, version } => self.srv_prop_offer(ctx, from, prop, version),
+            Msg::PropResp { prop, reply } => self.on_prop_resp(ctx, from, prop, reply),
+            Msg::PropData {
+                prop,
+                payload,
+                source_version,
+            } => self.srv_prop_data(ctx, from, prop, payload, source_version),
+            Msg::PropAck { prop, ok } => self.on_prop_ack(ctx, from, prop, ok),
+            Msg::PropCancel { prop } => self.srv_prop_cancel(ctx, from, prop),
+            Msg::Election { round } => self.srv_election(ctx, from, round),
+            Msg::ElectionAlive { round } => self.on_election_alive(ctx, from, round),
+            Msg::Coordinator => self.srv_coordinator(ctx, from),
+        }
+    }
+
+    fn on_call_failed(&mut self, ctx: &mut Ctx<'_, Self>, to: NodeId, msg: Msg) {
+        *self.stats.msgs_bounced.entry(msg.class()).or_insert(0) += 1;
+        match msg {
+            Msg::WriteReq { op } => self.on_write_peer_failed(ctx, op, to),
+            Msg::ReadReq { op } => self.on_read_peer_failed(ctx, op, to),
+            Msg::EpochCheckReq { op } => self.on_epoch_peer_failed(ctx, op, to),
+            // An unreachable 2PC participant is an implicit "no" (it cannot
+            // have prepared: it never received the Prepare).
+            Msg::Prepare { op, .. } => self.on_vote(ctx, to, op, false),
+            Msg::FetchReq { op } => self.on_fetch_failed(ctx, op, to),
+            Msg::PropOffer { prop, .. } | Msg::PropData { prop, .. } => {
+                self.on_prop_peer_failed(ctx, prop, to)
+            }
+            Msg::DecisionQuery { op } => {
+                // Coordinator unreachable: stay blocked, re-query later
+                // (deduplicated: at most one retry chain per op).
+                if self
+                    .durable
+                    .prepared
+                    .as_ref()
+                    .is_some_and(|(p, _)| *p == op)
+                {
+                    self.arm_decision_retry(ctx, op);
+                }
+            }
+            // Lost responses and notifications are covered by coordinator
+            // timeouts; lost decisions are re-fetched by the participant.
+            Msg::StateResp { .. }
+            | Msg::Vote { .. }
+            | Msg::Decision { .. }
+            | Msg::Release { .. }
+            | Msg::FetchResp { .. }
+            | Msg::PropResp { .. }
+            | Msg::PropAck { .. }
+            | Msg::PropCancel { .. }
+            | Msg::Election { .. }
+            | Msg::ElectionAlive { .. }
+            | Msg::Coordinator => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Self>, timer: Timer) {
+        match timer {
+            Timer::Collect { op } => self.on_collect_timeout(ctx, op),
+            Timer::Votes { op } => self.on_vote_timeout(ctx, op),
+            Timer::Fetch { op } => self.on_fetch_timeout(ctx, op),
+            Timer::RetryClient { attempt, request } => {
+                self.start_client_request(ctx, request, attempt)
+            }
+            Timer::LockLease { op } => self.handle_lock_lease(ctx, op),
+            Timer::EpochTick => self.on_epoch_tick(ctx),
+            Timer::EpochRetry => self.on_epoch_retry(ctx),
+            Timer::PropKick => self.on_prop_kick(ctx),
+            Timer::PropTimeout { prop } => self.on_prop_timeout(ctx, prop),
+            Timer::PropLease { prop } => self.on_prop_lease(ctx, prop),
+            Timer::DecisionRetry { op } => self.on_decision_retry(ctx, op),
+            Timer::ElectionTimeout { round } => self.on_election_timeout(ctx, round),
+        }
+    }
+
+    fn on_external(&mut self, ctx: &mut Ctx<'_, Self>, request: ClientRequest) {
+        self.start_client_request(ctx, request, 0);
+    }
+}
+
+impl ReplicaNode {
+    /// Entry point for client requests (and their retries).
+    pub fn start_client_request(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        request: ClientRequest,
+        attempt: u32,
+    ) {
+        if attempt > 0 {
+            self.stats.retries += 1;
+        }
+        match request {
+            ClientRequest::Read { id } => self.start_read(ctx, id, attempt),
+            ClientRequest::Write { id, write } => self.start_write(ctx, id, write, attempt),
+        }
+    }
+
+    /// Arms the decision-retry chain for `op`, at most one chain per op.
+    pub(crate) fn arm_decision_retry(&mut self, ctx: &mut NodeCtx<'_>, op: OpId) {
+        if self.vol.decision_retry_armed.insert(op) {
+            let retry = self.config.decision_retry;
+            ctx.set_timer(retry, Timer::DecisionRetry { op });
+        }
+    }
+
+    /// Jittered exponential backoff before retry `attempt`.
+    pub fn backoff(&self, ctx: &mut NodeCtx<'_>, attempt: u32) -> SimDuration {
+        let base = self.config.retry_backoff;
+        let scaled = base * (1u64 << attempt.min(6));
+        scaled + SimDuration::from_micros(ctx.rand_below(scaled.micros().max(1)))
+    }
+}

@@ -1,0 +1,98 @@
+//! Dispatch of shared message/timer kinds to the owning coordinator: state
+//! responses, votes, fetches, and timeouts are keyed only by `OpId`, so the
+//! node looks the operation up in its coordinator tables.
+
+use crate::msg::{Msg, OpId, StateTuple};
+use crate::node::{NodeCtx, ReplicaNode};
+use bytes::Bytes;
+use coterie_quorum::NodeId;
+
+impl ReplicaNode {
+    /// Routes a `StateResp` to the write, read, or epoch coordinator that
+    /// owns `op`. A grant for an operation that no longer exists is
+    /// released immediately so the replica does not sit locked until the
+    /// lease expires.
+    pub(crate) fn on_state_resp(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        from: NodeId,
+        op: OpId,
+        granted: bool,
+        state: StateTuple,
+    ) {
+        if self.vol.writes.contains_key(&op) {
+            self.write_state_resp(ctx, op, granted, state);
+        } else if self.vol.reads.contains_key(&op) {
+            self.read_state_resp(ctx, op, granted, state);
+        } else if self.vol.epochs.contains_key(&op) {
+            self.epoch_state_resp(ctx, op, state);
+        } else if granted {
+            ctx.send(from, Msg::Release { op });
+        }
+    }
+
+    /// Routes a 2PC vote.
+    pub(crate) fn on_vote(&mut self, ctx: &mut NodeCtx<'_>, from: NodeId, op: OpId, yes: bool) {
+        if self.vol.writes.contains_key(&op) {
+            self.write_vote(ctx, op, from, yes);
+        } else if self.vol.epochs.contains_key(&op) {
+            self.epoch_vote(ctx, op, from, yes);
+        }
+        // A vote for a finished op: the coordinator already decided; the
+        // participant learns the outcome via Decision or DecisionQuery.
+    }
+
+    /// Routes a permission-collection timeout.
+    pub(crate) fn on_collect_timeout(&mut self, ctx: &mut NodeCtx<'_>, op: OpId) {
+        if self.vol.writes.contains_key(&op) {
+            self.write_collect_timeout(ctx, op);
+        } else if self.vol.reads.contains_key(&op) {
+            self.read_collect_timeout(ctx, op);
+        } else if self.vol.epochs.contains_key(&op) {
+            self.epoch_collect_timeout(ctx, op);
+        }
+    }
+
+    /// Routes a 2PC vote timeout.
+    pub(crate) fn on_vote_timeout(&mut self, ctx: &mut NodeCtx<'_>, op: OpId) {
+        if self.vol.writes.contains_key(&op) {
+            self.write_vote_timeout(ctx, op);
+        } else if self.vol.epochs.contains_key(&op) {
+            self.epoch_vote_timeout(ctx, op);
+        }
+    }
+
+    /// Routes a fetch response (reads and write-all-current reconciliation).
+    pub(crate) fn on_fetch_resp(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        _from: NodeId,
+        op: OpId,
+        version: u64,
+        pages: Vec<Bytes>,
+    ) {
+        if self.vol.reads.contains_key(&op) {
+            self.read_fetch_resp(ctx, op, version, pages);
+        } else if self.vol.writes.contains_key(&op) {
+            self.write_fetch_resp(ctx, op, version, pages);
+        }
+    }
+
+    /// Routes a fetch `RPC.CallFailed`.
+    pub(crate) fn on_fetch_failed(&mut self, ctx: &mut NodeCtx<'_>, op: OpId, _to: NodeId) {
+        if self.vol.reads.contains_key(&op) {
+            self.read_fetch_failed(ctx, op);
+        } else if self.vol.writes.contains_key(&op) {
+            self.write_fetch_failed(ctx, op);
+        }
+    }
+
+    /// Routes a fetch timeout.
+    pub(crate) fn on_fetch_timeout(&mut self, ctx: &mut NodeCtx<'_>, op: OpId) {
+        if self.vol.reads.contains_key(&op) {
+            self.read_fetch_timeout(ctx, op);
+        } else if self.vol.writes.contains_key(&op) {
+            self.write_fetch_failed(ctx, op);
+        }
+    }
+}

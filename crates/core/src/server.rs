@@ -1,0 +1,339 @@
+//! Replica-side (participant) handlers: permission requests, two-phase
+//! commit, decision recovery, and read fetches.
+
+use crate::msg::{Action, Msg, OpId, StateTuple};
+use crate::node::{NodeCtx, ReplicaNode};
+use crate::store::LogEntry;
+use coterie_quorum::{NodeId, NodeSet};
+use coterie_simnet::SimDuration;
+
+impl ReplicaNode {
+    /// This replica's state tuple (the paper's
+    /// `(node, version, dversion, stale, elist, enumber)`).
+    pub fn state_tuple(&self) -> StateTuple {
+        StateTuple {
+            node: self.me,
+            version: self.durable.version,
+            dversion: self.durable.dversion,
+            stale: self.durable.stale,
+            elist: self.durable.elist.clone(),
+            enumber: self.durable.enumber,
+            last_good: self.durable.last_good.clone(),
+        }
+    }
+
+    /// `write-request`: "each node that receives the write-request obtains
+    /// the lock for its replica and responds with its state". No-wait: a
+    /// busy replica answers `granted: false` instead of queueing.
+    pub(crate) fn srv_write_req(&mut self, ctx: &mut NodeCtx<'_>, from: NodeId, op: OpId) {
+        let granted = matches!(
+            self.vol.lock.try_exclusive(op),
+            crate::locks::LockGrant::Granted
+        );
+        if granted {
+            self.arm_lock_lease(ctx, op);
+        }
+        let state = self.state_tuple();
+        ctx.send(from, Msg::StateResp { op, granted, state });
+    }
+
+    /// Read permission: shared lock.
+    pub(crate) fn srv_read_req(&mut self, ctx: &mut NodeCtx<'_>, from: NodeId, op: OpId) {
+        let granted = matches!(
+            self.vol.lock.try_shared(op),
+            crate::locks::LockGrant::Granted
+        );
+        if granted {
+            self.arm_lock_lease(ctx, op);
+        }
+        let state = self.state_tuple();
+        ctx.send(from, Msg::StateResp { op, granted, state });
+    }
+
+    /// `epoch-checking-request`: state response without locking (§4.3 —
+    /// epoch checking "does not interfere with reads and writes in the
+    /// absence of failures").
+    pub(crate) fn srv_epoch_check_req(&mut self, ctx: &mut NodeCtx<'_>, from: NodeId, op: OpId) {
+        self.vol.last_epoch_check_seen = Some(ctx.now());
+        let state = self.state_tuple();
+        ctx.send(
+            from,
+            Msg::StateResp {
+                op,
+                granted: true,
+                state,
+            },
+        );
+    }
+
+    /// 2PC prepare. Votes yes only when the action is applicable and the
+    /// replica lock is held by the requesting operation; the prepared
+    /// action is recorded durably (textbook atomic commit).
+    pub(crate) fn srv_prepare(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        from: NodeId,
+        op: OpId,
+        action: Action,
+    ) {
+        // Duplicate Prepare for an already-prepared op: re-vote yes.
+        if let Some((prep_op, _)) = &self.durable.prepared {
+            let yes = *prep_op == op;
+            ctx.send(from, Msg::Vote { op, yes });
+            return;
+        }
+        let yes = match &action {
+            Action::DoUpdate {
+                new_version, base, ..
+            } => {
+                // Must be exactly one version behind — either behind our
+                // own version or behind the reconciliation base being
+                // shipped to us.
+                let version_ok = match base {
+                    None => !self.durable.stale && *new_version == self.durable.version + 1,
+                    Some((_, base_version)) => {
+                        *new_version == base_version + 1
+                            && *base_version >= self.durable.version
+                            && *base_version >= self.durable.dversion
+                    }
+                };
+                // Normally the exclusive lock was granted in the permission
+                // phase. A safety-threshold *extra* replica was never
+                // polled ("no permission ... is needed"): it may acquire
+                // the lock here, voting no if busy.
+                let locked = if self.vol.lock.held_exclusively_by(op) {
+                    true
+                } else if matches!(
+                    self.vol.lock.try_exclusive(op),
+                    crate::locks::LockGrant::Granted
+                ) {
+                    self.arm_lock_lease(ctx, op);
+                    true
+                } else {
+                    false
+                };
+                locked && version_ok
+            }
+            Action::MarkStale { .. } => self.vol.lock.held_exclusively_by(op),
+            Action::NewEpoch { enumber, list, .. } => {
+                // Stale-numbered or misdirected epoch changes are refused
+                // outright.
+                if *enumber <= self.durable.enumber || !list.contains(&self.me) {
+                    ctx.send(from, Msg::Vote { op, yes: false });
+                    return;
+                }
+                // Epoch checks do not lock during the poll; the lock is
+                // taken here, at prepare time. Unlike reads and writes,
+                // an epoch prepare may *wait* for the lock (see
+                // `Volatile::pending_epoch_prepare`) so that epoch changes
+                // cannot starve under client load.
+                let lockable = matches!(
+                    self.vol.lock.try_exclusive(op),
+                    crate::locks::LockGrant::Granted
+                );
+                if !lockable {
+                    // Queue (keeping only the newest epoch number); the
+                    // displaced prepare is answered "no".
+                    if let Some((old_op, old_from, old_action)) =
+                        self.vol.pending_epoch_prepare.take()
+                    {
+                        let old_enumber = match &old_action {
+                            Action::NewEpoch { enumber, .. } => *enumber,
+                            _ => 0,
+                        };
+                        if old_enumber >= *enumber {
+                            self.vol.pending_epoch_prepare =
+                                Some((old_op, old_from, old_action));
+                            ctx.send(from, Msg::Vote { op, yes: false });
+                            return;
+                        }
+                        ctx.send(old_from, Msg::Vote { op: old_op, yes: false });
+                    }
+                    self.vol.pending_epoch_prepare = Some((op, from, action));
+                    return;
+                }
+                self.arm_lock_lease(ctx, op);
+                true
+            }
+        };
+        if yes {
+            self.durable.prepared = Some((op, action));
+            // Chase the outcome if the coordinator goes quiet (it may have
+            // aborted before our delayed vote arrived).
+            self.arm_decision_retry(ctx, op);
+        } else if matches!(action, Action::NewEpoch { .. } | Action::DoUpdate { .. })
+            && self.vol.lock.held_exclusively_by(op)
+            && self.durable.prepared.is_none()
+        {
+            // The prepare acquired (or held) the lock but failed
+            // validation; don't leave the replica locked until the lease.
+            self.release_lock(ctx, op);
+        }
+        ctx.send(from, Msg::Vote { op, yes });
+    }
+
+    /// 2PC decision from the coordinator.
+    pub(crate) fn srv_decision(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        _from: NodeId,
+        op: OpId,
+        commit: bool,
+    ) {
+        // An abort may arrive while the prepare is still queued for the
+        // lock: drop the queued prepare.
+        if !commit
+            && self
+                .vol
+                .pending_epoch_prepare
+                .as_ref()
+                .is_some_and(|(p, _, _)| *p == op)
+        {
+            self.vol.pending_epoch_prepare = None;
+        }
+        let prepared_matches = self
+            .durable
+            .prepared
+            .as_ref()
+            .is_some_and(|(p, _)| *p == op);
+        if prepared_matches {
+            let (_, action) = self.durable.prepared.take().expect("checked above");
+            if commit {
+                self.apply_action(ctx, &action);
+            }
+        }
+        // Idempotent: also frees the lock of a participant that voted no
+        // (which never prepared) instead of waiting out the lease.
+        self.release_lock(ctx, op);
+    }
+
+    /// A recovered participant asks for the outcome of an in-doubt op this
+    /// node coordinated. Presumed abort: if no commit decision is on disk
+    /// and the op is not still in flight, it aborted.
+    pub(crate) fn srv_decision_query(&mut self, ctx: &mut NodeCtx<'_>, from: NodeId, op: OpId) {
+        if self.vol.writes.contains_key(&op) || self.vol.epochs.contains_key(&op) {
+            return; // still deciding; the participant will re-query
+        }
+        let commit = self.durable.decisions.get(&op).copied().unwrap_or(false);
+        ctx.send(from, Msg::Decision { op, commit });
+    }
+
+    /// Periodic re-query for an in-doubt prepared transaction. Exactly one
+    /// retry chain exists per op (see `arm_decision_retry`).
+    pub(crate) fn on_decision_retry(&mut self, ctx: &mut NodeCtx<'_>, op: OpId) {
+        self.vol.decision_retry_armed.remove(&op);
+        let still_in_doubt = self
+            .durable
+            .prepared
+            .as_ref()
+            .is_some_and(|(p, _)| *p == op);
+        if !still_in_doubt {
+            return;
+        }
+        if op.node == self.me {
+            // We coordinated this op ourselves and then crashed: resolve
+            // directly from the durable decision log.
+            let commit = self.durable.decisions.get(&op).copied().unwrap_or(false);
+            let (_, action) = self.durable.prepared.take().expect("in doubt");
+            if commit {
+                self.apply_action(ctx, &action);
+            }
+            self.release_lock(ctx, op);
+            return;
+        }
+        ctx.send(op.node, Msg::DecisionQuery { op });
+        self.arm_decision_retry(ctx, op);
+    }
+
+    /// Read phase 2: return the object (the shared lock taken in the
+    /// permission phase guarantees it has not changed; after a crash the
+    /// returned version tells the coordinator the truth either way).
+    pub(crate) fn srv_fetch_req(&mut self, ctx: &mut NodeCtx<'_>, from: NodeId, op: OpId) {
+        ctx.send(
+            from,
+            Msg::FetchResp {
+                op,
+                version: self.durable.version,
+                pages: self.durable.object.snapshot(),
+            },
+        );
+    }
+
+    /// Applies a committed 2PC action to the durable state and triggers
+    /// follow-up work (update propagation, epoch bookkeeping).
+    pub(crate) fn apply_action(&mut self, ctx: &mut NodeCtx<'_>, action: &Action) {
+        match action {
+            Action::DoUpdate {
+                write,
+                new_version,
+                stale,
+                base,
+                good,
+            } => {
+                self.durable.last_good = good.clone();
+                // Apply the reconciliation base first if one was shipped
+                // (write-all-current baseline; see `write.rs`).
+                if let Some((pages, base_version)) = base {
+                    self.durable.object.restore(pages.clone());
+                    self.durable.version = *base_version;
+                    self.durable.log.clear();
+                    self.durable.stale = false;
+                    self.durable.dversion = 0;
+                }
+                self.durable.object.apply(write);
+                self.durable.version = *new_version;
+                self.durable.log.push(LogEntry {
+                    version: *new_version,
+                    write: write.clone(),
+                });
+                if !stale.is_empty() {
+                    let targets =
+                        NodeSet::from_iter(stale.iter().copied().filter(|&n| n != self.me));
+                    self.start_propagation(ctx, targets);
+                }
+            }
+            Action::MarkStale { desired_version } => {
+                self.durable.stale = true;
+                self.durable.dversion = self.durable.dversion.max(*desired_version);
+            }
+            Action::NewEpoch {
+                list,
+                enumber,
+                good,
+                stale,
+                desired_version,
+            } => {
+                self.durable.elist = list.clone();
+                self.durable.enumber = *enumber;
+                if stale.contains(&self.me) {
+                    self.durable.stale = true;
+                    self.durable.dversion = self.durable.dversion.max(*desired_version);
+                }
+                ctx.output(crate::msg::ProtocolEvent::EpochInstalled {
+                    enumber: *enumber,
+                    members: list.clone(),
+                });
+                if good.contains(&self.me) && !stale.is_empty() {
+                    let targets =
+                        NodeSet::from_iter(stale.iter().copied().filter(|&n| n != self.me));
+                    self.start_propagation(ctx, targets);
+                }
+            }
+        }
+    }
+
+    /// Grants a queued epoch prepare once the replica lock frees up.
+    pub(crate) fn grant_pending_epoch_prepare(&mut self, ctx: &mut NodeCtx<'_>) {
+        if self.vol.lock.is_locked() || self.durable.prepared.is_some() {
+            return;
+        }
+        if let Some((op, from, action)) = self.vol.pending_epoch_prepare.take() {
+            self.srv_prepare(ctx, from, op, action);
+        }
+    }
+
+    /// A small per-node deterministic jitter used to stagger periodic work.
+    pub(crate) fn jitter(&self, ctx: &mut NodeCtx<'_>, max: SimDuration) -> SimDuration {
+        SimDuration::from_micros(ctx.rand_below(max.micros().max(1)))
+    }
+}

@@ -1,0 +1,301 @@
+//! The replicated data item: a paged object supporting *partial writes*.
+//!
+//! The paper's motivating class of systems (file systems) update "only a
+//! portion of the data item rather than replacing it entirely with a new
+//! value" (§3). We model the data item as a fixed array of pages; a
+//! [`PartialWrite`] touches a subset of the pages. Each replica keeps a
+//! bounded [`WriteLog`] of recent writes so that update propagation can ship
+//! just the missing suffix of writes to a stale replica, falling back to a
+//! full snapshot when the log has been trimmed.
+
+use bytes::Bytes;
+
+/// Index of a page within the data item.
+pub type PageId = u16;
+
+/// A partial write: new contents for a subset of pages.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PartialWrite {
+    /// Updated pages, each `(page, new contents)`. Pages may appear at most
+    /// once; see [`PartialWrite::new`].
+    pub pages: Vec<(PageId, Bytes)>,
+}
+
+impl PartialWrite {
+    /// Builds a partial write; later duplicates of a page override earlier
+    /// ones (last-writer-wins within one write).
+    pub fn new<I: IntoIterator<Item = (PageId, Bytes)>>(pages: I) -> Self {
+        let mut v: Vec<(PageId, Bytes)> = pages.into_iter().collect();
+        // Stable de-dup keeping the last occurrence.
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::with_capacity(v.len());
+        while let Some(entry) = v.pop() {
+            if seen.insert(entry.0) {
+                out.push(entry);
+            }
+        }
+        out.reverse();
+        PartialWrite { pages: out }
+    }
+
+    /// A write that replaces the whole object (a "total write", the only
+    /// kind the conventional protocols support efficiently).
+    pub fn total(contents: Vec<Bytes>) -> Self {
+        PartialWrite {
+            pages: contents
+                .into_iter()
+                .enumerate()
+                .map(|(i, b)| (i as PageId, b))
+                .collect(),
+        }
+    }
+
+    /// Number of pages touched.
+    pub fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// True if the write touches no pages (legal; bumps the version only).
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+
+    /// Total payload bytes.
+    pub fn payload_bytes(&self) -> usize {
+        self.pages.iter().map(|(_, b)| b.len()).sum()
+    }
+}
+
+/// The materialized data item at one replica.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PagedObject {
+    pages: Vec<Bytes>,
+}
+
+impl PagedObject {
+    /// An object of `n_pages` empty pages.
+    pub fn new(n_pages: usize) -> Self {
+        PagedObject {
+            pages: vec![Bytes::new(); n_pages],
+        }
+    }
+
+    /// Number of pages.
+    pub fn n_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Contents of page `p`, if it exists.
+    pub fn page(&self, p: PageId) -> Option<&Bytes> {
+        self.pages.get(p as usize)
+    }
+
+    /// Applies a partial write. Pages beyond the object are ignored
+    /// (validated at the client boundary; defensive here).
+    pub fn apply(&mut self, write: &PartialWrite) {
+        for (p, contents) in &write.pages {
+            if let Some(slot) = self.pages.get_mut(*p as usize) {
+                *slot = contents.clone();
+            }
+        }
+    }
+
+    /// Full snapshot of the pages (cheap: `Bytes` clones are refcounted).
+    pub fn snapshot(&self) -> Vec<Bytes> {
+        self.pages.clone()
+    }
+
+    /// Replaces the whole object from a snapshot.
+    pub fn restore(&mut self, snapshot: Vec<Bytes>) {
+        self.pages = snapshot;
+    }
+
+    /// An order-sensitive FNV-1a digest over all pages, used by the
+    /// consistency checker to compare replica contents cheaply.
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |byte: u8| {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        };
+        for page in &self.pages {
+            for chunk in (page.len() as u32).to_le_bytes() {
+                eat(chunk);
+            }
+            for &b in page.iter() {
+                eat(b);
+            }
+        }
+        h
+    }
+}
+
+/// One committed write in the log.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LogEntry {
+    /// The version the object reached by applying this write.
+    pub version: u64,
+    /// The write itself.
+    pub write: PartialWrite,
+}
+
+/// A bounded log of recent writes, ordered by version.
+#[derive(Clone, Debug, Default)]
+pub struct WriteLog {
+    entries: std::collections::VecDeque<LogEntry>,
+    cap: usize,
+}
+
+impl WriteLog {
+    /// A log retaining at most `cap` recent writes.
+    pub fn new(cap: usize) -> Self {
+        WriteLog {
+            entries: std::collections::VecDeque::with_capacity(cap.min(64)),
+            cap,
+        }
+    }
+
+    /// Appends a committed write; versions must be strictly increasing.
+    pub fn push(&mut self, entry: LogEntry) {
+        if let Some(last) = self.entries.back() {
+            debug_assert!(entry.version > last.version, "log versions must increase");
+        }
+        self.entries.push_back(entry);
+        while self.entries.len() > self.cap {
+            self.entries.pop_front();
+        }
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the log holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The writes needed to carry a replica from `from_version` up to the
+    /// newest logged version, i.e. all entries with `version > from_version`
+    /// — or `None` if the log has been trimmed past `from_version + 1`
+    /// (the caller must fall back to a snapshot).
+    pub fn updates_since(&self, from_version: u64) -> Option<Vec<LogEntry>> {
+        let first = self.entries.front()?;
+        if from_version + 1 < first.version {
+            return None; // gap: the needed prefix was trimmed
+        }
+        Some(
+            self.entries
+                .iter()
+                .filter(|e| e.version > from_version)
+                .cloned()
+                .collect(),
+        )
+    }
+
+    /// Clears the log (used when restoring from a snapshot).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn partial_write_dedups_keeping_last() {
+        let w = PartialWrite::new([(1, b("old")), (2, b("x")), (1, b("new"))]);
+        assert_eq!(w.len(), 2);
+        let page1 = w.pages.iter().find(|(p, _)| *p == 1).unwrap();
+        assert_eq!(page1.1, b("new"));
+        assert_eq!(w.payload_bytes(), 4);
+        assert!(!w.is_empty());
+        assert!(PartialWrite::new([]).is_empty());
+    }
+
+    #[test]
+    fn total_write_covers_all_pages() {
+        let w = PartialWrite::total(vec![b("a"), b("bb")]);
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.pages[0], (0, b("a")));
+        assert_eq!(w.pages[1], (1, b("bb")));
+    }
+
+    #[test]
+    fn apply_and_digest() {
+        let mut o = PagedObject::new(4);
+        let d0 = o.digest();
+        o.apply(&PartialWrite::new([(2, b("hello"))]));
+        assert_eq!(o.page(2), Some(&b("hello")));
+        assert_eq!(o.page(0), Some(&Bytes::new()));
+        assert_ne!(o.digest(), d0);
+        // Out-of-range pages are ignored.
+        o.apply(&PartialWrite::new([(9, b("zz"))]));
+        assert_eq!(o.n_pages(), 4);
+        assert!(o.page(9).is_none());
+    }
+
+    #[test]
+    fn digest_is_order_sensitive() {
+        let mut a = PagedObject::new(2);
+        a.apply(&PartialWrite::new([(0, b("x")), (1, b("y"))]));
+        let mut c = PagedObject::new(2);
+        c.apply(&PartialWrite::new([(0, b("y")), (1, b("x"))]));
+        assert_ne!(a.digest(), c.digest());
+    }
+
+    #[test]
+    fn snapshot_restore_round_trip() {
+        let mut o = PagedObject::new(3);
+        o.apply(&PartialWrite::new([(1, b("data"))]));
+        let snap = o.snapshot();
+        let mut other = PagedObject::new(3);
+        other.restore(snap);
+        assert_eq!(o, other);
+        assert_eq!(o.digest(), other.digest());
+    }
+
+    #[test]
+    fn log_serves_contiguous_suffix() {
+        let mut log = WriteLog::new(10);
+        for v in 1..=5 {
+            log.push(LogEntry {
+                version: v,
+                write: PartialWrite::new([(0, b("x"))]),
+            });
+        }
+        let ups = log.updates_since(2).unwrap();
+        assert_eq!(ups.iter().map(|e| e.version).collect::<Vec<_>>(), vec![3, 4, 5]);
+        assert_eq!(log.updates_since(5).unwrap(), vec![]);
+        assert_eq!(log.updates_since(0).unwrap().len(), 5);
+    }
+
+    #[test]
+    fn log_trims_and_reports_gaps() {
+        let mut log = WriteLog::new(3);
+        for v in 1..=6 {
+            log.push(LogEntry {
+                version: v,
+                write: PartialWrite::new([]),
+            });
+        }
+        assert_eq!(log.len(), 3); // versions 4, 5, 6
+        assert!(log.updates_since(1).is_none(), "needs v2 which was trimmed");
+        assert!(log.updates_since(2).is_none());
+        assert!(log.updates_since(3).is_some(), "v4.. is intact");
+        assert_eq!(log.updates_since(3).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn empty_log_has_no_updates() {
+        let log = WriteLog::new(4);
+        assert!(log.updates_since(0).is_none());
+        assert!(log.is_empty());
+    }
+}

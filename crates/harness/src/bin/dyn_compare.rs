@@ -1,0 +1,10 @@
+//! Dynamic grid vs dynamic voting availability (experiment E11).
+
+use coterie_harness::experiments::dyn_compare;
+
+fn main() {
+    print!(
+        "{}",
+        dyn_compare::render(&dyn_compare::DEFAULT_NS, &dyn_compare::DEFAULT_PS)
+    );
+}

@@ -1,0 +1,15 @@
+//! Sensitivity to the epoch-check rate (experiment E9).
+//!
+//! Usage: `epoch_rate [n] [p] [horizon] [replications]`
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(9);
+    let p: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(0.9);
+    let horizon: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(20_000.0);
+    let reps: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(6);
+    print!(
+        "{}",
+        coterie_harness::experiments::epoch_rate::render(n, p, horizon, reps, 17)
+    );
+}

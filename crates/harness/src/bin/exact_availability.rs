@@ -1,0 +1,14 @@
+//! Idealized Figure 3 model vs the published grid rule (experiment E10).
+//!
+//! Usage: `exact_availability [p] [horizon] [replications]`
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let p: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(0.9);
+    let horizon: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(20_000.0);
+    let reps: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(6);
+    print!(
+        "{}",
+        coterie_harness::experiments::exact_availability::render(p, horizon, reps, 23)
+    );
+}

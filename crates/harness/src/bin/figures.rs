@@ -1,0 +1,23 @@
+//! Regenerates the paper's Figures 1-3 (experiments E2-E4).
+//!
+//! Usage: `figures [1|2|3] [n]` — with no argument, prints all three.
+
+use coterie_harness::experiments::figures;
+
+fn main() {
+    let which = std::env::args().nth(1);
+    let n: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(9);
+    match which.as_deref() {
+        Some("1") => print!("{}", figures::figure1()),
+        Some("2") => print!("{}", figures::figure2()),
+        Some("3") => print!("{}", figures::figure3(n)),
+        _ => {
+            println!("{}", figures::figure1());
+            println!("{}", figures::figure2());
+            println!("{}", figures::figure3(n));
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! Load sharing and message traffic by coterie rule (experiment E7).
+//!
+//! Usage: `load_sharing [n] [duration_secs] [seed]`
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(9);
+    let dur: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(30);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(21);
+    print!(
+        "{}",
+        coterie_harness::experiments::load_sharing::render(n, dur, seed)
+    );
+}

@@ -1,0 +1,15 @@
+//! Stale marking vs write-all-current (experiment E8), with and without
+//! churn.
+//!
+//! Usage: `partial_writes [n] [duration_secs] [seed]`
+
+use coterie_harness::experiments::partial_writes;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(9);
+    let dur: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(30);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(31);
+    println!("{}", partial_writes::render(n, dur, seed, false));
+    println!("{}", partial_writes::render(n, dur, seed, true));
+}

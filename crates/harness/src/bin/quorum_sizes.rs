@@ -1,0 +1,7 @@
+//! Quorum-size comparison across coterie rules (experiment E6).
+
+use coterie_harness::experiments::quorum_sizes;
+
+fn main() {
+    print!("{}", quorum_sizes::render(&quorum_sizes::DEFAULT_NS));
+}

@@ -1,0 +1,14 @@
+//! Read availability analysis (experiment E12).
+//!
+//! Usage: `read_availability [p]`
+
+fn main() {
+    let p: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.95);
+    print!(
+        "{}",
+        coterie_harness::experiments::read_availability::render(&[3, 4, 5, 6, 9, 12, 16, 20], p)
+    );
+}

@@ -1,0 +1,37 @@
+//! Runs every experiment (E1-E12) and prints all tables and figures.
+//! Mirrors the per-experiment index in EXPERIMENTS.md.
+//!
+//! Usage: `run_all [--quick]` — `--quick` shortens the Monte-Carlo runs.
+
+use coterie_harness::experiments::*;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (horizon, reps) = if quick { (4_000.0, 4) } else { (20_000.0, 8) };
+
+    println!("{}", table1::render(0.95));
+    println!("{}", figures::figure1());
+    println!("{}", figures::figure2());
+    println!("{}", figures::figure3(9));
+    println!("{}", site_sim::render(horizon, reps, 7));
+    println!("{}", quorum_sizes::render(&quorum_sizes::DEFAULT_NS));
+    println!("{}", load_sharing::render(9, if quick { 10 } else { 30 }, 21));
+    println!(
+        "{}",
+        partial_writes::render(9, if quick { 15 } else { 30 }, 31, true)
+    );
+    println!("{}", epoch_rate::render(9, 0.9, horizon, reps, 17));
+    println!("{}", exact_availability::render(0.9, horizon, reps, 23));
+    println!(
+        "{}",
+        dyn_compare::render(&dyn_compare::DEFAULT_NS, &dyn_compare::DEFAULT_PS)
+    );
+    println!(
+        "{}",
+        read_availability::render(&[3, 4, 5, 6, 9, 12, 16, 20], 0.95)
+    );
+    println!(
+        "{}",
+        safety_ablation::render(9, if quick { 20 } else { 40 }, 41)
+    );
+}

@@ -1,0 +1,14 @@
+//! Safety-threshold ablation (experiment E13).
+//!
+//! Usage: `safety_ablation [n] [duration_secs] [seed]`
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(9);
+    let dur: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(40);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(41);
+    print!(
+        "{}",
+        coterie_harness::experiments::safety_ablation::render(n, dur, seed)
+    );
+}

@@ -1,0 +1,14 @@
+//! Monte-Carlo validation of the availability models (experiment E5).
+//!
+//! Usage: `site_sim [horizon] [replications] [seed]`
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let horizon: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(30_000.0);
+    let reps: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(8);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(7);
+    print!(
+        "{}",
+        coterie_harness::experiments::site_sim::render(horizon, reps, seed)
+    );
+}

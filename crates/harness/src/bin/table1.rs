@@ -1,0 +1,12 @@
+//! Regenerates the paper's Table 1 (experiment E1): write unavailability of
+//! the best static grid vs the dynamic grid protocol at p = 0.95.
+//!
+//! Usage: `table1 [p]`
+
+fn main() {
+    let p: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.95);
+    print!("{}", coterie_harness::experiments::table1::render(p));
+}

@@ -1,0 +1,98 @@
+//! **E2–E4 — Figures 1, 2, and 3 of the paper.**
+//!
+//! * Figure 1: the grid for N = 14 (4×4 with two unoccupied positions) and
+//!   the worked write-quorum example {1, 6, 3, 7, 11, 4}.
+//! * Figure 2: the grid for N = 3 and why small epochs block.
+//! * Figure 3: the state diagram of the dynamic-grid availability chain,
+//!   as a state/transition listing and Graphviz DOT.
+
+use coterie_markov::DynamicModel;
+use coterie_quorum::{CoterieRule, GridCoterie, NodeId, NodeSet, View};
+
+/// Figure 1: the N = 14 grid plus the paper's example quorum.
+pub fn figure1() -> String {
+    let rule = GridCoterie::new();
+    let view = View::first_n(14);
+    let mut out = String::from("Figure 1. ");
+    out.push_str(&rule.render(&view));
+    // The paper numbers nodes from 1; our ids are 0-based.
+    let example = NodeSet::from_iter([0u32, 5, 2, 6, 10, 3].map(NodeId));
+    out.push_str(&format!(
+        "\nexample: nodes {{1, 6, 3, 7, 11, 4}} (1-based) form a write quorum: {}\n",
+        rule.is_write_quorum(&view, example)
+    ));
+    out.push_str(
+        "  - {1, 6, 3, 4} covers every column; {3, 7, 11} covers all physical\n    positions of column 3 (position (4,3) is unoccupied).\n",
+    );
+    out
+}
+
+/// Figure 2: the N = 3 grid.
+pub fn figure2() -> String {
+    let rule = GridCoterie::new();
+    let view = View::first_n(3);
+    let mut out = String::from("Figure 2. ");
+    out.push_str(&rule.render(&view));
+    out.push_str(
+        "\nWith the unoptimized full-column rule the paper's availability\n\
+         analysis uses, all three nodes are needed for a write quorum, so an\n\
+         epoch of three blocks on any failure. (Under the optimized rule of\n\
+         the paper's own pseudo-code, {1,2} and {2,3} are write quorums; the\n\
+         gap is quantified by experiment E10.)\n",
+    );
+    out
+}
+
+/// Figure 3: the availability chain for `n` replicas — listing and DOT.
+pub fn figure3(n: usize) -> String {
+    let model = DynamicModel::grid(n, 1.0, 19.0);
+    let chain = model.chain();
+    let mut out = format!(
+        "Figure 3. State diagram of the dynamic grid protocol, N = {n}\n\
+         (states (x, y, z): y nodes in the latest epoch, x of them up,\n\
+         z of the other N - y nodes up; doubled circles are available)\n\n"
+    );
+    out.push_str(&format!(
+        "{} states, {} transitions\n\n",
+        chain.len(),
+        chain.transitions().count()
+    ));
+    for (i, s) in chain.states().iter().enumerate() {
+        out.push_str(&format!("  s{i}: {s:?}\n"));
+    }
+    out.push('\n');
+    for (i, j, r) in chain.transitions() {
+        out.push_str(&format!("  s{i} -> s{j}  rate {r}\n"));
+    }
+    out.push_str("\nDOT:\n");
+    out.push_str(&chain.to_dot(|s| s.is_available()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_shows_grid_and_quorum() {
+        let s = figure1();
+        assert!(s.contains("4 rows x 4 columns, 2 unoccupied"));
+        assert!(s.contains("write quorum: true"));
+    }
+
+    #[test]
+    fn figure2_shows_three_node_grid() {
+        let s = figure2();
+        assert!(s.contains("2 rows x 2 columns, 1 unoccupied"));
+    }
+
+    #[test]
+    fn figure3_lists_states_and_dot() {
+        let s = figure3(5);
+        assert!(s.contains("digraph"));
+        assert!(s.contains("Available"));
+        assert!(s.contains("Blocked"));
+        // (n - 3 + 1) * (1 + 3) = 12 states for n = 5.
+        assert!(s.contains("12 states"));
+    }
+}

@@ -1,0 +1,30 @@
+//! Experiment drivers. Each module regenerates one artifact of the paper
+//! (or one supplementary claim-backing experiment); the mapping to the
+//! paper's tables and figures is indexed in EXPERIMENTS.md at the
+//! repository root.
+//!
+//! | Module | Artifact |
+//! |--------|----------|
+//! | [`table1`] | Table 1: static vs dynamic grid write unavailability |
+//! | [`figures`] | Figures 1–3: grid layouts and the availability chain |
+//! | [`site_sim`] | E5: Monte-Carlo validation of the Markov results |
+//! | [`quorum_sizes`] | E6: quorum-size comparison (§1 claims) |
+//! | [`load_sharing`] | E7: load sharing & message traffic |
+//! | [`partial_writes`] | E8: stale marking vs write-all-current |
+//! | [`epoch_rate`] | E9: sensitivity to the epoch-check rate |
+//! | [`exact_availability`] | E10: idealized model vs published rule |
+//! | [`dyn_compare`] | E11: dynamic grid vs dynamic voting |
+//! | [`read_availability`] | E12: the analogous read analysis |
+//! | [`safety_ablation`] | E13: the §4.1 safety-threshold ablation |
+
+pub mod dyn_compare;
+pub mod epoch_rate;
+pub mod exact_availability;
+pub mod figures;
+pub mod load_sharing;
+pub mod partial_writes;
+pub mod quorum_sizes;
+pub mod read_availability;
+pub mod safety_ablation;
+pub mod site_sim;
+pub mod table1;

@@ -1,0 +1,205 @@
+//! Fault-injection schedules: per-node Poisson crash/repair processes and
+//! scripted partition timelines, pre-generated so runs stay reproducible.
+
+use coterie_quorum::NodeId;
+use coterie_simnet::{Partition, SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Fault-injection parameters.
+#[derive(Clone, Debug)]
+pub struct FaultConfig {
+    /// Per-node crash rate (per simulated second). Zero disables crashes.
+    pub lambda_per_sec: f64,
+    /// Per-node repair rate (per simulated second).
+    pub mu_per_sec: f64,
+    /// Horizon to pre-generate.
+    pub duration: SimDuration,
+    /// RNG seed.
+    pub seed: u64,
+    /// Nodes exempt from crashes (e.g. keep the measured coordinator up).
+    pub immune: Vec<NodeId>,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            lambda_per_sec: 0.0,
+            mu_per_sec: 1.0,
+            duration: SimDuration::from_secs(60),
+            seed: 0xDEAD,
+            immune: Vec::new(),
+        }
+    }
+}
+
+/// One scheduled fault event.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FaultEvent {
+    /// Crash `node`.
+    Crash(NodeId),
+    /// Recover `node`.
+    Recover(NodeId),
+    /// Replace the partition.
+    Partition(Partition),
+}
+
+/// A pre-generated, time-ordered fault schedule.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    /// The schedule.
+    pub events: Vec<(SimTime, FaultEvent)>,
+}
+
+impl FaultPlan {
+    /// Generates independent alternating crash/repair processes for each
+    /// (non-immune) node.
+    pub fn generate(config: &FaultConfig, n_nodes: usize) -> FaultPlan {
+        let mut plan = FaultPlan::default();
+        if config.lambda_per_sec <= 0.0 {
+            return plan;
+        }
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let horizon = config.duration.as_secs_f64();
+        for node in (0..n_nodes as u32).map(NodeId) {
+            if config.immune.contains(&node) {
+                continue;
+            }
+            let mut t = 0.0f64;
+            let mut up = true;
+            loop {
+                let rate = if up {
+                    config.lambda_per_sec
+                } else {
+                    config.mu_per_sec
+                };
+                t += -rng.gen::<f64>().max(f64::MIN_POSITIVE).ln() / rate;
+                if t >= horizon {
+                    break;
+                }
+                let at = SimTime((t * 1e6) as u64);
+                plan.events.push((
+                    at,
+                    if up {
+                        FaultEvent::Crash(node)
+                    } else {
+                        FaultEvent::Recover(node)
+                    },
+                ));
+                up = !up;
+            }
+        }
+        plan.events.sort_by_key(|(t, _)| *t);
+        plan
+    }
+
+    /// A scripted plan: explicit events.
+    pub fn scripted(events: Vec<(SimTime, FaultEvent)>) -> FaultPlan {
+        let mut plan = FaultPlan { events };
+        plan.events.sort_by_key(|(t, _)| *t);
+        plan
+    }
+
+    /// Adds a partition episode `[from, until)` isolating `island`.
+    pub fn with_partition_episode(
+        mut self,
+        n_nodes: usize,
+        island: &[NodeId],
+        from: SimTime,
+        until: SimTime,
+    ) -> FaultPlan {
+        self.events
+            .push((from, FaultEvent::Partition(Partition::split(n_nodes, island))));
+        self.events
+            .push((until, FaultEvent::Partition(Partition::connected(n_nodes))));
+        self.events.sort_by_key(|(t, _)| *t);
+        self
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when the plan holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_lambda_means_no_faults() {
+        let plan = FaultPlan::generate(&FaultConfig::default(), 5);
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn processes_alternate_per_node() {
+        let cfg = FaultConfig {
+            lambda_per_sec: 0.5,
+            mu_per_sec: 2.0,
+            duration: SimDuration::from_secs(100),
+            ..Default::default()
+        };
+        let plan = FaultPlan::generate(&cfg, 3);
+        assert!(!plan.is_empty());
+        for node in (0..3).map(NodeId) {
+            let mine: Vec<_> = plan
+                .events
+                .iter()
+                .filter(|(_, e)| matches!(e, FaultEvent::Crash(n) | FaultEvent::Recover(n) if *n == node))
+                .collect();
+            let mut expect_crash = true;
+            for (_, e) in mine {
+                match e {
+                    FaultEvent::Crash(_) => {
+                        assert!(expect_crash, "two crashes in a row for {node:?}");
+                        expect_crash = false;
+                    }
+                    FaultEvent::Recover(_) => {
+                        assert!(!expect_crash);
+                        expect_crash = true;
+                    }
+                    FaultEvent::Partition(_) => unreachable!(),
+                }
+            }
+        }
+        // Time-ordered overall.
+        for pair in plan.events.windows(2) {
+            assert!(pair[0].0 <= pair[1].0);
+        }
+    }
+
+    #[test]
+    fn immune_nodes_never_crash() {
+        let cfg = FaultConfig {
+            lambda_per_sec: 2.0,
+            mu_per_sec: 2.0,
+            duration: SimDuration::from_secs(50),
+            immune: vec![NodeId(0)],
+            ..Default::default()
+        };
+        let plan = FaultPlan::generate(&cfg, 3);
+        assert!(plan.events.iter().all(|(_, e)| !matches!(
+            e,
+            FaultEvent::Crash(n) if *n == NodeId(0)
+        )));
+    }
+
+    #[test]
+    fn partition_episode_brackets() {
+        let plan = FaultPlan::scripted(vec![]).with_partition_episode(
+            4,
+            &[NodeId(3)],
+            SimTime(5),
+            SimTime(10),
+        );
+        assert_eq!(plan.len(), 2);
+        assert!(matches!(plan.events[0].1, FaultEvent::Partition(_)));
+        assert!(plan.events[0].0 < plan.events[1].0);
+    }
+}

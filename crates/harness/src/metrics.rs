@@ -1,0 +1,131 @@
+//! Run metrics: operation outcomes, latency distribution, message traffic,
+//! and load-sharing statistics.
+
+use coterie_simnet::SimDuration;
+use serde::Serialize;
+
+/// A small fixed-memory latency accumulator (exact percentiles via a
+/// sorted sample vector; runs are short enough to keep every sample).
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct LatencyStats {
+    samples_us: Vec<u64>,
+}
+
+impl LatencyStats {
+    /// Records one latency sample.
+    pub fn record(&mut self, d: SimDuration) {
+        self.samples_us.push(d.micros());
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples_us.len()
+    }
+
+    /// True when no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples_us.is_empty()
+    }
+
+    /// Mean latency in milliseconds.
+    pub fn mean_ms(&self) -> f64 {
+        if self.samples_us.is_empty() {
+            return 0.0;
+        }
+        self.samples_us.iter().sum::<u64>() as f64 / self.samples_us.len() as f64 / 1e3
+    }
+
+    /// The `q`-quantile (0..=1) in milliseconds.
+    pub fn quantile_ms(&self, q: f64) -> f64 {
+        if self.samples_us.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples_us.clone();
+        sorted.sort_unstable();
+        let idx = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        sorted[idx] as f64 / 1e3
+    }
+}
+
+/// Load-sharing statistics over per-node counts.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct LoadStats {
+    /// Per-node counts (e.g. messages received).
+    pub per_node: Vec<u64>,
+}
+
+impl LoadStats {
+    /// Builds from raw counts.
+    pub fn new(per_node: Vec<u64>) -> Self {
+        LoadStats { per_node }
+    }
+
+    /// Mean per-node count.
+    pub fn mean(&self) -> f64 {
+        if self.per_node.is_empty() {
+            return 0.0;
+        }
+        self.per_node.iter().sum::<u64>() as f64 / self.per_node.len() as f64
+    }
+
+    /// Coefficient of variation (stddev / mean): 0 = perfectly balanced.
+    pub fn cv(&self) -> f64 {
+        let mean = self.mean();
+        if mean == 0.0 || self.per_node.len() < 2 {
+            return 0.0;
+        }
+        let var = self
+            .per_node
+            .iter()
+            .map(|&c| (c as f64 - mean).powi(2))
+            .sum::<f64>()
+            / self.per_node.len() as f64;
+        var.sqrt() / mean
+    }
+
+    /// Max/mean ratio: 1 = balanced; large = hot spot.
+    pub fn peak_to_mean(&self) -> f64 {
+        let mean = self.mean();
+        if mean == 0.0 {
+            return 0.0;
+        }
+        self.per_node.iter().copied().max().unwrap_or(0) as f64 / mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_quantiles() {
+        let mut l = LatencyStats::default();
+        for i in 1..=100u64 {
+            l.record(SimDuration::from_micros(i * 1000));
+        }
+        assert_eq!(l.len(), 100);
+        assert!((l.mean_ms() - 50.5).abs() < 1e-9);
+        assert!((l.quantile_ms(0.0) - 1.0).abs() < 1e-9);
+        assert!((l.quantile_ms(1.0) - 100.0).abs() < 1e-9);
+        assert!((l.quantile_ms(0.5) - 50.0).abs() < 1.1);
+    }
+
+    #[test]
+    fn empty_latency_is_zero() {
+        let l = LatencyStats::default();
+        assert_eq!(l.mean_ms(), 0.0);
+        assert_eq!(l.quantile_ms(0.5), 0.0);
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn load_balance_metrics() {
+        let balanced = LoadStats::new(vec![10, 10, 10, 10]);
+        assert_eq!(balanced.cv(), 0.0);
+        assert_eq!(balanced.peak_to_mean(), 1.0);
+        let skewed = LoadStats::new(vec![40, 0, 0, 0]);
+        assert!(skewed.cv() > 1.5);
+        assert_eq!(skewed.peak_to_mean(), 4.0);
+        assert_eq!(LoadStats::new(vec![]).cv(), 0.0);
+    }
+}

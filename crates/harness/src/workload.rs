@@ -1,0 +1,200 @@
+//! Client workload generation: Poisson arrivals of reads and partial
+//! writes spread across coordinator nodes.
+
+use bytes::Bytes;
+use coterie_core::{ClientRequest, PageId, PartialWrite};
+use coterie_quorum::NodeId;
+use coterie_simnet::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Workload parameters.
+#[derive(Clone, Debug)]
+pub struct WorkloadConfig {
+    /// Mean operations per simulated second (Poisson process).
+    pub ops_per_sec: f64,
+    /// Fraction of operations that are reads.
+    pub read_fraction: f64,
+    /// Pages the object has (writes target a random subset).
+    pub n_pages: usize,
+    /// Maximum pages touched by one partial write.
+    pub max_pages_per_write: usize,
+    /// Payload bytes per page write.
+    pub page_bytes: usize,
+    /// Total workload duration.
+    pub duration: SimDuration,
+    /// RNG seed (independent of the simulator's).
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            ops_per_sec: 50.0,
+            read_fraction: 0.5,
+            n_pages: 16,
+            max_pages_per_write: 3,
+            page_bytes: 64,
+            duration: SimDuration::from_secs(60),
+            seed: 0xF00D,
+        }
+    }
+}
+
+/// What the harness remembers about each issued operation, for the
+/// consistency checker and latency metrics.
+#[derive(Clone, Debug)]
+pub struct IssuedOp {
+    /// The client request id.
+    pub id: u64,
+    /// Issue time.
+    pub at: SimTime,
+    /// Coordinator node.
+    pub coordinator: NodeId,
+    /// The write payload, or `None` for reads.
+    pub write: Option<PartialWrite>,
+}
+
+/// A generated workload: a time-ordered schedule of client requests.
+#[derive(Clone, Debug, Default)]
+pub struct Workload {
+    /// The schedule.
+    pub ops: Vec<(SimTime, NodeId, ClientRequest)>,
+    /// Issue records by client id.
+    pub issued: HashMap<u64, IssuedOp>,
+}
+
+impl Workload {
+    /// Generates a workload over `n_nodes` coordinators.
+    pub fn generate(config: &WorkloadConfig, n_nodes: usize) -> Workload {
+        assert!(n_nodes >= 1);
+        assert!((0.0..=1.0).contains(&config.read_fraction));
+        assert!(config.ops_per_sec > 0.0);
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut out = Workload::default();
+        let mut t = 0.0f64;
+        let horizon = config.duration.as_secs_f64();
+        let mut id = 0u64;
+        while t < horizon {
+            let gap = -rng.gen::<f64>().max(f64::MIN_POSITIVE).ln() / config.ops_per_sec;
+            t += gap;
+            if t >= horizon {
+                break;
+            }
+            id += 1;
+            let at = SimTime((t * 1e6) as u64);
+            let coordinator = NodeId(rng.gen_range(0..n_nodes as u32));
+            let request = if rng.gen::<f64>() < config.read_fraction {
+                out.issued.insert(
+                    id,
+                    IssuedOp {
+                        id,
+                        at,
+                        coordinator,
+                        write: None,
+                    },
+                );
+                ClientRequest::Read { id }
+            } else {
+                let k = rng.gen_range(1..=config.max_pages_per_write.min(config.n_pages));
+                let mut pages = Vec::with_capacity(k);
+                for _ in 0..k {
+                    let page = rng.gen_range(0..config.n_pages as u16) as PageId;
+                    let mut body = vec![0u8; config.page_bytes];
+                    rng.fill(&mut body[..]);
+                    pages.push((page, Bytes::from(body)));
+                }
+                let write = PartialWrite::new(pages);
+                out.issued.insert(
+                    id,
+                    IssuedOp {
+                        id,
+                        at,
+                        coordinator,
+                        write: Some(write.clone()),
+                    },
+                );
+                ClientRequest::Write { id, write }
+            };
+            out.ops.push((at, coordinator, request));
+        }
+        out
+    }
+
+    /// Number of operations in the schedule.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True if the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Count of writes in the schedule.
+    pub fn writes(&self) -> usize {
+        self.issued.values().filter(|o| o.write.is_some()).count()
+    }
+
+    /// Count of reads in the schedule.
+    pub fn reads(&self) -> usize {
+        self.len() - self.writes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_poisson_schedule() {
+        let cfg = WorkloadConfig {
+            ops_per_sec: 100.0,
+            duration: SimDuration::from_secs(10),
+            ..Default::default()
+        };
+        let w = Workload::generate(&cfg, 5);
+        // ~1000 ops expected; allow wide slack.
+        assert!(w.len() > 700 && w.len() < 1300, "got {}", w.len());
+        // Sorted by time, ids unique.
+        for pair in w.ops.windows(2) {
+            assert!(pair[0].0 <= pair[1].0);
+        }
+        assert_eq!(w.issued.len(), w.len());
+        // Mix near the requested fraction.
+        let frac = w.reads() as f64 / w.len() as f64;
+        assert!((frac - 0.5).abs() < 0.1, "read fraction {frac}");
+        // Coordinators within range.
+        assert!(w.ops.iter().all(|(_, n, _)| n.0 < 5));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = WorkloadConfig::default();
+        let a = Workload::generate(&cfg, 3);
+        let b = Workload::generate(&cfg, 3);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(
+            a.ops.iter().map(|(t, n, _)| (t.micros(), n.0)).collect::<Vec<_>>(),
+            b.ops.iter().map(|(t, n, _)| (t.micros(), n.0)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn all_reads_or_all_writes() {
+        let all_reads = WorkloadConfig {
+            read_fraction: 1.0,
+            ..Default::default()
+        };
+        let w = Workload::generate(&all_reads, 2);
+        assert_eq!(w.writes(), 0);
+        let all_writes = WorkloadConfig {
+            read_fraction: 0.0,
+            ..Default::default()
+        };
+        let w = Workload::generate(&all_writes, 2);
+        assert_eq!(w.reads(), 0);
+        assert!(w.issued.values().all(|o| o.write.is_some()));
+    }
+}

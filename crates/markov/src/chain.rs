@@ -1,0 +1,206 @@
+//! Continuous-time Markov chain construction over arbitrary state types.
+//!
+//! The paper's §6 analysis "uses Markov chains and goes along the lines of
+//! [Jajodia & Mutchler]" and solves the state diagram with "the classical
+//! global balance technique". [`CtmcBuilder`] assembles the generator from
+//! named states and rates; [`crate::solve`] computes the stationary
+//! distribution.
+
+use std::collections::HashMap;
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// A continuous-time Markov chain over states of type `S`, stored as a
+/// dense rate matrix plus a state index.
+#[derive(Clone, Debug)]
+pub struct Ctmc<S> {
+    states: Vec<S>,
+    /// `rates[i][j]` is the transition rate from state `i` to state `j`
+    /// (`i != j`); diagonal entries are unused and kept at zero.
+    rates: Vec<Vec<f64>>,
+}
+
+impl<S: Clone + Eq + Hash + Debug> Ctmc<S> {
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// True if the chain has no states.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// The states, in index order.
+    pub fn states(&self) -> &[S] {
+        &self.states
+    }
+
+    /// The rate from state index `i` to state index `j`.
+    pub fn rate(&self, i: usize, j: usize) -> f64 {
+        self.rates[i][j]
+    }
+
+    /// Total exit rate of state `i`.
+    pub fn exit_rate(&self, i: usize) -> f64 {
+        self.rates[i].iter().sum()
+    }
+
+    /// Dense rate matrix (row = from).
+    pub fn rate_matrix(&self) -> &[Vec<f64>] {
+        &self.rates
+    }
+
+    /// All transitions as `(from, to, rate)` triples.
+    pub fn transitions(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        self.rates.iter().enumerate().flat_map(|(i, row)| {
+            row.iter()
+                .enumerate()
+                .filter(|&(_, &r)| r > 0.0)
+                .map(move |(j, &r)| (i, j, r))
+        })
+    }
+
+    /// Renders the chain in Graphviz DOT syntax (used to regenerate the
+    /// paper's Figure 3 as a diagram).
+    pub fn to_dot(&self, highlight: impl Fn(&S) -> bool) -> String {
+        let mut out = String::from("digraph ctmc {\n  rankdir=LR;\n");
+        for (i, s) in self.states.iter().enumerate() {
+            let shape = if highlight(s) { "doublecircle" } else { "circle" };
+            out.push_str(&format!("  s{i} [label=\"{s:?}\", shape={shape}];\n"));
+        }
+        for (i, j, r) in self.transitions() {
+            out.push_str(&format!("  s{i} -> s{j} [label=\"{r:.4}\"];\n"));
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Incremental CTMC builder keyed by state values.
+#[derive(Clone, Debug)]
+pub struct CtmcBuilder<S> {
+    index: HashMap<S, usize>,
+    states: Vec<S>,
+    transitions: Vec<(usize, usize, f64)>,
+}
+
+impl<S: Clone + Eq + Hash + Debug> Default for CtmcBuilder<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S: Clone + Eq + Hash + Debug> CtmcBuilder<S> {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        CtmcBuilder {
+            index: HashMap::new(),
+            states: Vec::new(),
+            transitions: Vec::new(),
+        }
+    }
+
+    /// Interns `state`, returning its index.
+    pub fn state(&mut self, state: S) -> usize {
+        if let Some(&i) = self.index.get(&state) {
+            return i;
+        }
+        let i = self.states.len();
+        self.states.push(state.clone());
+        self.index.insert(state, i);
+        i
+    }
+
+    /// Looks up a state's index without creating it.
+    pub fn find(&self, state: &S) -> Option<usize> {
+        self.index.get(state).copied()
+    }
+
+    /// Adds a transition `from -> to` at `rate` (> 0). Parallel transitions
+    /// between the same pair accumulate. Self-loops are rejected: they are
+    /// meaningless in a CTMC.
+    pub fn transition(&mut self, from: S, to: S, rate: f64) {
+        assert!(rate > 0.0 && rate.is_finite(), "rates must be positive");
+        let f = self.state(from);
+        let t = self.state(to);
+        assert_ne!(f, t, "self-loop in CTMC");
+        self.transitions.push((f, t, rate));
+    }
+
+    /// Number of states interned so far.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// True if no states have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Finalizes the chain.
+    pub fn build(self) -> Ctmc<S> {
+        let n = self.states.len();
+        let mut rates = vec![vec![0.0; n]; n];
+        for (f, t, r) in self.transitions {
+            rates[f][t] += r;
+        }
+        Ctmc {
+            states: self.states,
+            rates,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_interns_states_once() {
+        let mut b = CtmcBuilder::new();
+        let a = b.state("a");
+        let a2 = b.state("a");
+        assert_eq!(a, a2);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.find(&"a"), Some(0));
+        assert_eq!(b.find(&"zzz"), None);
+    }
+
+    #[test]
+    fn parallel_transitions_accumulate() {
+        let mut b = CtmcBuilder::new();
+        b.transition("a", "b", 1.0);
+        b.transition("a", "b", 2.5);
+        let c = b.build();
+        assert_eq!(c.rate(0, 1), 3.5);
+        assert_eq!(c.exit_rate(0), 3.5);
+        assert_eq!(c.exit_rate(1), 0.0);
+        assert_eq!(c.transitions().count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loops_rejected() {
+        let mut b = CtmcBuilder::new();
+        b.transition(1, 1, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_rejected() {
+        let mut b = CtmcBuilder::new();
+        b.transition(1, 2, 0.0);
+    }
+
+    #[test]
+    fn dot_output_mentions_states() {
+        let mut b = CtmcBuilder::new();
+        b.transition("up", "down", 0.5);
+        b.transition("down", "up", 9.5);
+        let dot = b.build().to_dot(|s| *s == "up");
+        assert!(dot.contains("doublecircle"));
+        assert!(dot.contains("\"up\""));
+        assert!(dot.contains("->"));
+    }
+}

@@ -1,0 +1,331 @@
+//! The paper's §6 availability model for dynamic (epoch-based) protocols:
+//! the Figure 3 state diagram, generalized over the minimum epoch size.
+//!
+//! Site-model assumptions (Paris [13], as adopted by the paper):
+//! 1. links are reliable — only sites fail;
+//! 2. failures and repairs are independent Poisson processes with rates
+//!    `lambda` and `mu`;
+//! 3. operations are instantaneous;
+//! 4. epoch checking runs between any two failure/repair events, so the
+//!    epoch always equals the up-set while the system is available.
+//!
+//! Under these assumptions the epoch shrinks and grows with the up-set as
+//! long as each single failure leaves a write quorum of the previous epoch.
+//! For the grid rule the paper argues this holds down to epochs of **three**
+//! nodes: "the above process of epoch changes continues successfully unless
+//! the system comes to the point when there are only three nodes in the
+//! latest epoch and one of them fails", after which "subsequent epoch
+//! checking operations will fail ... until all three nodes become
+//! simultaneously available again".
+
+use crate::chain::{Ctmc, CtmcBuilder};
+use crate::solve::{probability_of, stationary, SolveError};
+
+/// A state of the Figure 3 diagram. The paper writes `(x, y, z)`: the
+/// latest epoch contains `y` nodes, `x` of which are up, and `z` of the
+/// `N - y` remaining nodes are up. While available, `x = y` and the epoch
+/// tracks the up-set, so available states are `(y, y, z)`; the paper draws
+/// them as the upper row. Once a failure hits an epoch of the minimum size,
+/// the epoch freezes (at size `y = min_epoch`) and the system is blocked
+/// until all its members are simultaneously up.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum EpochState {
+    /// Epoch = up-set of size `up`; system available.
+    Available {
+        /// Number of up nodes (= epoch size).
+        up: usize,
+    },
+    /// Epoch frozen at `min_epoch` members, only `epoch_up < min_epoch` of
+    /// them up, `outside_up` of the other `N - min_epoch` nodes up.
+    Blocked {
+        /// Up members of the frozen epoch.
+        epoch_up: usize,
+        /// Up nodes outside the frozen epoch.
+        outside_up: usize,
+    },
+}
+
+impl EpochState {
+    /// Whether the data item is available for writes in this state.
+    pub fn is_available(self) -> bool {
+        matches!(self, EpochState::Available { .. })
+    }
+}
+
+/// Parameters of the dynamic availability chain.
+#[derive(Clone, Copy, Debug)]
+pub struct DynamicModel {
+    /// Total number of replicas `N`.
+    pub n: usize,
+    /// Per-node failure rate `lambda`.
+    pub lambda: f64,
+    /// Per-node repair rate `mu`.
+    pub mu: f64,
+    /// Smallest epoch size that is still available but cannot survive any
+    /// further failure: 3 for the grid rule (paper §6), 2 for plain
+    /// majority voting.
+    pub min_epoch: usize,
+}
+
+impl DynamicModel {
+    /// The paper's dynamic grid model.
+    pub fn grid(n: usize, lambda: f64, mu: f64) -> Self {
+        DynamicModel {
+            n,
+            lambda,
+            mu,
+            min_epoch: 3.min(n),
+        }
+    }
+
+    /// Dynamic majority voting (epochs shrink while a majority of the
+    /// previous epoch survives; an epoch of 2 blocks on any failure).
+    pub fn majority(n: usize, lambda: f64, mu: f64) -> Self {
+        DynamicModel {
+            n,
+            lambda,
+            mu,
+            min_epoch: 2.min(n),
+        }
+    }
+
+    /// Convenience: rates from a steady-state node-up probability `p`
+    /// (`p = mu / (mu + lambda)`), fixing `lambda = 1`.
+    pub fn with_p(mut self, p: f64) -> Self {
+        assert!(p > 0.0 && p < 1.0, "p must be in (0, 1)");
+        self.lambda = 1.0;
+        self.mu = p / (1.0 - p);
+        self
+    }
+
+    /// Builds the Figure 3 CTMC.
+    pub fn chain(&self) -> Ctmc<EpochState> {
+        let DynamicModel {
+            n,
+            lambda,
+            mu,
+            min_epoch,
+        } = *self;
+        assert!(n >= 1 && min_epoch >= 1 && min_epoch <= n);
+        assert!(lambda > 0.0 && mu > 0.0);
+        let mut b = CtmcBuilder::new();
+        let avail = |up: usize| EpochState::Available { up };
+
+        // Upper row: available states, epoch tracking the up-set.
+        for y in min_epoch..=n {
+            if y > min_epoch {
+                // One failure: epoch change succeeds (y-1 survivors still
+                // include a write quorum of the y-epoch).
+                b.transition(avail(y), avail(y - 1), y as f64 * lambda);
+            }
+            if y < n {
+                // One repair: the epoch absorbs the recovered node.
+                b.transition(avail(y), avail(y + 1), (n - y) as f64 * mu);
+            }
+        }
+        // Failure at the minimum epoch: freeze.
+        b.transition(
+            avail(min_epoch),
+            EpochState::Blocked {
+                epoch_up: min_epoch - 1,
+                outside_up: 0,
+            },
+            min_epoch as f64 * lambda,
+        );
+
+        // Blocked lattice: epoch members and outsiders fail/recover
+        // independently; recovery of the last down epoch member unfreezes
+        // into an available epoch of all up nodes.
+        let outside_total = n - min_epoch;
+        for x in 0..min_epoch {
+            for z in 0..=outside_total {
+                let s = EpochState::Blocked {
+                    epoch_up: x,
+                    outside_up: z,
+                };
+                if x > 0 {
+                    b.transition(
+                        s,
+                        EpochState::Blocked {
+                            epoch_up: x - 1,
+                            outside_up: z,
+                        },
+                        x as f64 * lambda,
+                    );
+                }
+                let down_members = min_epoch - x;
+                if down_members > 1 {
+                    b.transition(
+                        s,
+                        EpochState::Blocked {
+                            epoch_up: x + 1,
+                            outside_up: z,
+                        },
+                        down_members as f64 * mu,
+                    );
+                } else {
+                    // The last down member returns: all min_epoch members
+                    // up, epoch check reforms the epoch over every up node.
+                    b.transition(s, avail(min_epoch + z), mu);
+                }
+                if z > 0 {
+                    b.transition(
+                        s,
+                        EpochState::Blocked {
+                            epoch_up: x,
+                            outside_up: z - 1,
+                        },
+                        z as f64 * lambda,
+                    );
+                }
+                if z < outside_total {
+                    b.transition(
+                        s,
+                        EpochState::Blocked {
+                            epoch_up: x,
+                            outside_up: z + 1,
+                        },
+                        (outside_total - z) as f64 * mu,
+                    );
+                }
+            }
+        }
+        b.build()
+    }
+
+    /// Steady-state write availability of the dynamic protocol.
+    pub fn availability(&self) -> Result<f64, SolveError> {
+        let chain = self.chain();
+        let pi = stationary(&chain)?;
+        Ok(probability_of(&chain, &pi, |s| s.is_available()))
+    }
+
+    /// Steady-state write unavailability (`1 - availability`, computed as a
+    /// direct sum of blocked-state probabilities so that values as small as
+    /// `1e-14` keep full relative accuracy — see the paper's Table 1).
+    pub fn unavailability(&self) -> Result<f64, SolveError> {
+        let chain = self.chain();
+        let pi = stationary(&chain)?;
+        Ok(probability_of(&chain, &pi, |s| !s.is_available()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P95: f64 = 0.95; // mu/lambda = 19, as in the paper's Table 1.
+
+    fn grid_unavail(n: usize) -> f64 {
+        DynamicModel::grid(n, 1.0, 19.0).unavailability().unwrap()
+    }
+
+    #[test]
+    fn table1_dynamic_grid_column() {
+        // Paper Table 1, "Dynamic Grid unavailability", p = 0.95:
+        //   N=9  -> 0.18e-6, N=12 -> 0.6e-10, N=15 -> 1.564e-14,
+        //   N=16 -> negligible.
+        let u9 = grid_unavail(9);
+        assert!(
+            (u9 - 0.18e-6).abs() / 0.18e-6 < 0.05,
+            "N=9: got {u9:e}, paper 1.8e-7"
+        );
+        let u12 = grid_unavail(12);
+        assert!(
+            (u12 - 0.6e-10).abs() / 0.6e-10 < 0.1,
+            "N=12: got {u12:e}, paper 0.6e-10"
+        );
+        let u15 = grid_unavail(15);
+        assert!(
+            (u15 - 1.564e-14).abs() / 1.564e-14 < 0.05,
+            "N=15: got {u15:e}, paper 1.564e-14"
+        );
+        let u16 = grid_unavail(16);
+        assert!(u16 < 1e-15, "N=16 should be negligible, got {u16:e}");
+    }
+
+    #[test]
+    fn with_p_matches_explicit_rates() {
+        let a = DynamicModel::grid(9, 1.0, 19.0).unavailability().unwrap();
+        let b = DynamicModel::grid(9, 0.0, 0.0).with_p(P95).unavailability().unwrap();
+        assert!((a - b).abs() / a < 1e-12);
+    }
+
+    #[test]
+    fn unavailability_decreases_with_n() {
+        let mut prev = f64::INFINITY;
+        for n in [4usize, 6, 9, 12, 15] {
+            let u = grid_unavail(n);
+            assert!(u < prev, "unavailability should fall with N: {u:e} at N={n}");
+            prev = u;
+        }
+    }
+
+    #[test]
+    fn dynamic_beats_static_by_orders_of_magnitude() {
+        use coterie_quorum::availability::grid_write_availability;
+        use coterie_quorum::GridShape;
+        for n in [9usize, 12, 15] {
+            let stat = 1.0 - grid_write_availability(GridShape::define(n), P95);
+            let dynm = grid_unavail(n);
+            assert!(
+                stat / dynm > 1e3,
+                "N={n}: dynamic ({dynm:e}) should beat static ({stat:e}) by >=3 orders"
+            );
+        }
+    }
+
+    #[test]
+    fn majority_model_beats_grid_model_slightly() {
+        // min_epoch = 2 blocks later than min_epoch = 3.
+        for n in [5usize, 9] {
+            let g = DynamicModel::grid(n, 1.0, 19.0).unavailability().unwrap();
+            let m = DynamicModel::majority(n, 1.0, 19.0).unavailability().unwrap();
+            assert!(m < g, "N={n}: majority {m:e} vs grid {g:e}");
+        }
+    }
+
+    #[test]
+    fn availability_plus_unavailability_is_one() {
+        let model = DynamicModel::grid(9, 1.0, 19.0);
+        let a = model.availability().unwrap();
+        let u = model.unavailability().unwrap();
+        assert!((a + u - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tiny_system_edge_cases() {
+        // N = 3 with min_epoch = 3: available only in the all-up state?
+        // Not quite: available whenever the single available state (3,3,0)
+        // holds; any failure blocks until all three return.
+        let u3 = grid_unavail(3);
+        // p(all 3 up) = 0.857375; blocked mass must far exceed the
+        // larger-N cases but stay below 1 - p^3 at equilibrium... sanity:
+        assert!(u3 > 0.05 && u3 < 0.2, "N=3 unavailability {u3}");
+        // N = 1: single node, min_epoch = 1: available iff up.
+        let m1 = DynamicModel::grid(1, 1.0, 19.0);
+        let a1 = m1.availability().unwrap();
+        assert!((a1 - 0.95).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chain_size_matches_formula() {
+        // (n - min_epoch + 1) available + min_epoch * (n - min_epoch + 1)
+        // blocked states.
+        let model = DynamicModel::grid(9, 1.0, 19.0);
+        let chain = model.chain();
+        let n = 9;
+        let me = 3;
+        let expect = (n - me + 1) + me * (n - me + 1);
+        assert_eq!(chain.len(), expect);
+    }
+
+    #[test]
+    fn figure3_dot_renders() {
+        let chain = DynamicModel::grid(5, 1.0, 19.0).chain();
+        let dot = chain.to_dot(|s| s.is_available());
+        assert!(dot.contains("digraph"));
+        assert!(dot.contains("Available"));
+        assert!(dot.contains("Blocked"));
+    }
+}

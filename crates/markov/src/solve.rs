@@ -1,0 +1,284 @@
+//! Steady-state solution of CTMCs.
+//!
+//! The workhorse is the Grassmann–Taksar–Heyman (GTH) algorithm: a
+//! subtraction-free variant of Gaussian elimination for stationary
+//! distributions. Because it never subtracts, it computes tiny component
+//! probabilities with full *relative* accuracy — essential here, since the
+//! paper's Table 1 reports unavailabilities down to `1.5e-14`, far below
+//! what `1 - availability` could resolve in `f64` if computed naively.
+//!
+//! A uniformized power-iteration solver is included as an independent
+//! cross-check used by the test-suite.
+
+use crate::chain::Ctmc;
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// Errors from the steady-state solvers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SolveError {
+    /// The chain has no states.
+    Empty,
+    /// The chain is reducible from the numerical point of view: during
+    /// elimination a state had no remaining exit rate, so the stationary
+    /// distribution is not unique. Contains the offending state index.
+    Reducible(usize),
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::Empty => write!(f, "chain has no states"),
+            SolveError::Reducible(i) => {
+                write!(f, "chain is not irreducible (state index {i} is absorbing a class)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// The GTH elimination. Works on a copy of the rate matrix: states
+/// `n-1, n-2, ..., 1` are eliminated in turn, each eliminated state's flow
+/// redistributed among the survivors, then the stationary vector is
+/// recovered by back substitution. Every update is an addition,
+/// multiplication, or division of non-negative numbers — no cancellation
+/// anywhere, which is what preserves the relative accuracy of tiny
+/// probabilities.
+#[allow(clippy::needless_range_loop)] // index symmetry mirrors the math
+fn gth(rates: &[Vec<f64>]) -> Result<Vec<f64>, SolveError> {
+    let n = rates.len();
+    let mut q: Vec<Vec<f64>> = rates.to_vec();
+    let mut exit_sums = vec![0.0f64; n];
+    for k in (1..n).rev() {
+        let s: f64 = q[k][..k].iter().sum();
+        if s <= 0.0 || !s.is_finite() {
+            return Err(SolveError::Reducible(k));
+        }
+        exit_sums[k] = s;
+        for j in 0..k {
+            q[k][j] /= s;
+        }
+        for i in 0..k {
+            let qik = q[i][k];
+            if qik > 0.0 {
+                for j in 0..k {
+                    if i != j {
+                        q[i][j] += qik * q[k][j];
+                    }
+                }
+            }
+        }
+    }
+    // Back substitution.
+    let mut pi = vec![0.0f64; n];
+    pi[0] = 1.0;
+    for k in 1..n {
+        let mut acc = 0.0;
+        for i in 0..k {
+            acc += pi[i] * q[i][k];
+        }
+        pi[k] = acc / exit_sums[k];
+    }
+    let total: f64 = pi.iter().sum();
+    for p in &mut pi {
+        *p /= total;
+    }
+    Ok(pi)
+}
+
+/// Power iteration on the uniformized DTMC: an independent (slower, less
+/// precise) solver used to cross-check GTH.
+#[allow(clippy::needless_range_loop)] // index symmetry mirrors the math
+pub fn steady_state_power<S: Clone + Eq + Hash + Debug>(
+    chain: &Ctmc<S>,
+    iterations: usize,
+) -> Result<Vec<f64>, SolveError> {
+    let n = chain.len();
+    if n == 0 {
+        return Err(SolveError::Empty);
+    }
+    if n == 1 {
+        return Ok(vec![1.0]);
+    }
+    let max_exit = (0..n)
+        .map(|i| chain.exit_rate(i))
+        .fold(0.0f64, f64::max);
+    if max_exit <= 0.0 {
+        return Err(SolveError::Reducible(0));
+    }
+    let gamma = max_exit * 1.05;
+    // P = I + Q/gamma
+    let mut pi = vec![1.0 / n as f64; n];
+    let mut next = vec![0.0f64; n];
+    for _ in 0..iterations {
+        for x in next.iter_mut() {
+            *x = 0.0;
+        }
+        for i in 0..n {
+            let stay = 1.0 - chain.exit_rate(i) / gamma;
+            next[i] += pi[i] * stay;
+            for j in 0..n {
+                let r = chain.rate(i, j);
+                if r > 0.0 {
+                    next[j] += pi[i] * r / gamma;
+                }
+            }
+        }
+        std::mem::swap(&mut pi, &mut next);
+    }
+    let total: f64 = pi.iter().sum();
+    for p in &mut pi {
+        *p /= total;
+    }
+    Ok(pi)
+}
+
+/// Public GTH entry point (see module docs).
+pub fn stationary<S: Clone + Eq + Hash + Debug>(chain: &Ctmc<S>) -> Result<Vec<f64>, SolveError> {
+    if chain.is_empty() {
+        return Err(SolveError::Empty);
+    }
+    if chain.len() == 1 {
+        return Ok(vec![1.0]);
+    }
+    gth(chain.rate_matrix())
+}
+
+/// Sums the stationary probability of all states matching `pred`.
+pub fn probability_of<S: Clone + Eq + Hash + Debug>(
+    chain: &Ctmc<S>,
+    pi: &[f64],
+    pred: impl Fn(&S) -> bool,
+) -> f64 {
+    chain
+        .states()
+        .iter()
+        .zip(pi)
+        .filter(|(s, _)| pred(s))
+        .map(|(_, &p)| p)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::CtmcBuilder;
+
+    fn close(a: f64, b: f64, rel: f64) -> bool {
+        (a - b).abs() <= rel * b.abs().max(f64::MIN_POSITIVE)
+    }
+
+    #[test]
+    fn two_state_up_down() {
+        // Failure rate l, repair mu: pi_up = mu/(mu+l).
+        let (l, mu) = (1.0, 19.0);
+        let mut b = CtmcBuilder::new();
+        b.transition("up", "down", l);
+        b.transition("down", "up", mu);
+        let chain = b.build();
+        let pi = stationary(&chain).unwrap();
+        let p_up = probability_of(&chain, &pi, |s| *s == "up");
+        assert!(close(p_up, 0.95, 1e-14), "got {p_up}");
+    }
+
+    #[test]
+    fn birth_death_matches_closed_form() {
+        // M/M/1/K queue: pi_k proportional to rho^k.
+        let (lambda, mu, k) = (2.0, 5.0, 8usize);
+        let mut b = CtmcBuilder::new();
+        for i in 0..k {
+            b.transition(i, i + 1, lambda);
+            b.transition(i + 1, i, mu);
+        }
+        let chain = b.build();
+        let pi = stationary(&chain).unwrap();
+        let rho: f64 = lambda / mu;
+        let norm: f64 = (0..=k).map(|i| rho.powi(i as i32)).sum();
+        for i in 0..=k {
+            let expect = rho.powi(i as i32) / norm;
+            let idx = chain.states().iter().position(|&s| s == i).unwrap();
+            assert!(close(pi[idx], expect, 1e-12), "state {i}: {} vs {expect}", pi[idx]);
+        }
+    }
+
+    #[test]
+    fn gth_resolves_tiny_probabilities() {
+        // A chain engineered so one state has probability ~1e-30: a chain of
+        // 10 states each 1000x less likely than the previous.
+        let mut b = CtmcBuilder::new();
+        for i in 0..10u32 {
+            b.transition(i, i + 1, 1.0);
+            b.transition(i + 1, i, 1000.0);
+        }
+        let chain = b.build();
+        let pi = stationary(&chain).unwrap();
+        let idx_last = chain.states().iter().position(|&s| s == 10).unwrap();
+        // Birth-death closed form: pi_i proportional to (1/1000)^i.
+        let ratio: f64 = 1e-3;
+        let norm: f64 = (0..=10).map(|i| ratio.powi(i)).sum();
+        let expect = ratio.powi(10) / norm;
+        assert!(
+            close(pi[idx_last], expect, 1e-9),
+            "tiny pi lost precision: {} vs {expect}",
+            pi[idx_last]
+        );
+    }
+
+    #[test]
+    fn power_iteration_agrees_with_gth() {
+        let mut b = CtmcBuilder::new();
+        // A small random-ish strongly connected chain.
+        let edges = [
+            (0, 1, 1.0),
+            (1, 2, 0.7),
+            (2, 0, 2.0),
+            (2, 3, 0.3),
+            (3, 1, 5.0),
+            (0, 3, 0.2),
+        ];
+        for (f, t, r) in edges {
+            b.transition(f, t, r);
+        }
+        let chain = b.build();
+        let pi_gth = stationary(&chain).unwrap();
+        let pi_pow = steady_state_power(&chain, 20_000).unwrap();
+        for (a, b) in pi_gth.iter().zip(&pi_pow) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn reducible_chain_detected() {
+        let mut b = CtmcBuilder::new();
+        b.transition("a", "b", 1.0); // b is absorbing
+        let chain = b.build();
+        assert!(matches!(
+            stationary(&chain),
+            Err(SolveError::Reducible(_))
+        ));
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let empty: CtmcBuilder<u8> = CtmcBuilder::new();
+        assert_eq!(stationary(&empty.build()), Err(SolveError::Empty));
+        let mut one = CtmcBuilder::new();
+        one.state("only");
+        assert_eq!(stationary(&one.build()).unwrap(), vec![1.0]);
+    }
+
+    #[test]
+    fn distribution_sums_to_one() {
+        let mut b = CtmcBuilder::new();
+        for i in 0..20 {
+            b.transition(i, (i + 1) % 20, 1.0 + i as f64);
+            b.transition(i, (i + 7) % 20, 0.3);
+        }
+        let chain = b.build();
+        let pi = stationary(&chain).unwrap();
+        let total: f64 = pi.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!(pi.iter().all(|&p| p > 0.0));
+    }
+}

@@ -1,0 +1,201 @@
+//! Voting coteries with unit votes (Gifford [6]): majority quorums and
+//! general read/write threshold pairs with `r + w > N` and `2w > N`.
+
+use crate::node::{NodeSet, View};
+use crate::rule::{CoterieRule, QuorumKind};
+
+/// How the write quorum size is derived from the view size `N`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WriteSize {
+    /// `⌊N/2⌋ + 1` — plain majority.
+    Majority,
+    /// `max(⌊N/2⌋ + 1, ⌈pct·N/100⌉)` — a biased write quorum; the read
+    /// quorum shrinks correspondingly (`r = N + 1 - w`).
+    Percent(u8),
+    /// `max(⌊N/2⌋ + 1, min(k, N))` — a fixed target size, clamped to stay a
+    /// legal write quorum.
+    AtLeast(usize),
+}
+
+/// A voting coterie with one vote per node.
+///
+/// Write quorums are any `w` nodes and read quorums any `r = N + 1 - w`
+/// nodes, which guarantees both intersection properties. This is the
+/// protocol the paper contrasts with structured coteries: "the voting
+/// protocol [6], where the quorum size in the simplest case is ⌊(N+1)/2⌋".
+#[derive(Clone, Copy, Debug)]
+pub struct VotingCoterie {
+    write_size: WriteSize,
+}
+
+impl VotingCoterie {
+    /// Majority read and write quorums.
+    pub fn majority() -> Self {
+        VotingCoterie {
+            write_size: WriteSize::Majority,
+        }
+    }
+
+    /// A voting coterie with the given write-size policy.
+    pub fn with_write_size(write_size: WriteSize) -> Self {
+        VotingCoterie { write_size }
+    }
+
+    /// Write quorum size for a view of `n` nodes.
+    pub fn write_quorum_size(&self, n: usize) -> usize {
+        let majority = n / 2 + 1;
+        match self.write_size {
+            WriteSize::Majority => majority,
+            WriteSize::Percent(pct) => {
+                let target = (n * pct as usize).div_ceil(100);
+                target.clamp(majority, n)
+            }
+            WriteSize::AtLeast(k) => k.clamp(majority, n),
+        }
+    }
+
+    /// Read quorum size for a view of `n` nodes: `N + 1 - w`.
+    pub fn read_quorum_size(&self, n: usize) -> usize {
+        n + 1 - self.write_quorum_size(n)
+    }
+
+    fn quorum_size(&self, n: usize, kind: QuorumKind) -> usize {
+        match kind {
+            QuorumKind::Read => self.read_quorum_size(n),
+            QuorumKind::Write => self.write_quorum_size(n),
+        }
+    }
+}
+
+/// The common case: majority voting.
+pub type MajorityCoterie = VotingCoterie;
+
+impl MajorityCoterie {
+    /// Alias for [`VotingCoterie::majority`].
+    pub fn new() -> Self {
+        VotingCoterie::majority()
+    }
+}
+
+impl Default for VotingCoterie {
+    fn default() -> Self {
+        VotingCoterie::majority()
+    }
+}
+
+impl CoterieRule for VotingCoterie {
+    fn name(&self) -> &'static str {
+        match self.write_size {
+            WriteSize::Majority => "majority",
+            _ => "voting",
+        }
+    }
+
+    fn includes_quorum(&self, view: &View, s: NodeSet, kind: QuorumKind) -> bool {
+        if view.is_empty() {
+            return false;
+        }
+        let present = s.intersection(view.set()).len();
+        present >= self.quorum_size(view.len(), kind)
+    }
+
+    fn pick_quorum(
+        &self,
+        view: &View,
+        prefer: NodeSet,
+        seed: u64,
+        kind: QuorumKind,
+    ) -> Option<NodeSet> {
+        if view.is_empty() {
+            return None;
+        }
+        let need = self.quorum_size(view.len(), kind);
+        let candidates = prefer.intersection(view.set()).to_vec();
+        if candidates.len() < need {
+            return None;
+        }
+        // Rotate the candidate ring by the seed for load sharing.
+        let start = (seed as usize) % candidates.len();
+        let mut quorum = NodeSet::new();
+        for off in 0..need {
+            quorum.insert(candidates[(start + off) % candidates.len()]);
+        }
+        debug_assert!(self.includes_quorum(view, quorum, kind));
+        Some(quorum)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeId;
+
+    #[test]
+    fn majority_sizes() {
+        let m = MajorityCoterie::new();
+        assert_eq!(m.write_quorum_size(5), 3);
+        assert_eq!(m.read_quorum_size(5), 3);
+        assert_eq!(m.write_quorum_size(6), 4);
+        assert_eq!(m.read_quorum_size(6), 3);
+        assert_eq!(m.write_quorum_size(1), 1);
+    }
+
+    #[test]
+    fn thresholds_respect_invariants() {
+        for pct in [0u8, 30, 50, 75, 100] {
+            let c = VotingCoterie::with_write_size(WriteSize::Percent(pct));
+            for n in 1..=40 {
+                let w = c.write_quorum_size(n);
+                let r = c.read_quorum_size(n);
+                assert!(2 * w > n, "2w > N violated: n={n} pct={pct}");
+                assert!(r + w > n, "r+w > N violated: n={n} pct={pct}");
+                assert!(w <= n && r >= 1 && r <= n);
+            }
+        }
+        for k in [0usize, 2, 7, 100] {
+            let c = VotingCoterie::with_write_size(WriteSize::AtLeast(k));
+            for n in 1..=40 {
+                let w = c.write_quorum_size(n);
+                assert!(2 * w > n && w <= n);
+            }
+        }
+    }
+
+    #[test]
+    fn quorum_predicate_counts_view_members_only() {
+        let c = MajorityCoterie::new();
+        let view = View::first_n(5);
+        let mut s = NodeSet::from_iter([NodeId(0), NodeId(1)]);
+        s.insert(NodeId(70)); // outside the view
+        assert!(!c.is_write_quorum(&view, s));
+        s.insert(NodeId(2));
+        assert!(c.is_write_quorum(&view, s));
+    }
+
+    #[test]
+    fn pick_quorum_is_valid_and_spreads() {
+        let c = MajorityCoterie::new();
+        let view = View::first_n(7);
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..7 {
+            let q = c
+                .pick_quorum(&view, view.set(), seed, QuorumKind::Write)
+                .unwrap();
+            assert_eq!(q.len(), 4);
+            assert!(c.is_write_quorum(&view, q));
+            seen.insert(q);
+        }
+        assert!(seen.len() > 1);
+    }
+
+    #[test]
+    fn pick_quorum_fails_without_enough_alive() {
+        let c = MajorityCoterie::new();
+        let view = View::first_n(5);
+        let alive = NodeSet::from_iter([NodeId(0), NodeId(1)]);
+        assert!(c.pick_quorum(&view, alive, 0, QuorumKind::Write).is_none());
+        let alive3 = NodeSet::from_iter([NodeId(0), NodeId(1), NodeId(4)]);
+        let q = c.pick_quorum(&view, alive3, 0, QuorumKind::Write).unwrap();
+        assert!(q.is_subset_of(alive3));
+    }
+}

@@ -1,0 +1,117 @@
+//! Read-one/write-all (ROWA). The paper discusses this discipline in §2:
+//! the accessible-copies protocol can use it, while the epoch-based protocol
+//! cannot afford it ("a single failure would make the epoch change
+//! impossible and the data object unavailable for update"). We ship it as a
+//! baseline for the load-sharing and availability experiments.
+
+use crate::node::{NodeSet, View};
+use crate::rule::{CoterieRule, QuorumKind};
+
+/// The ROWA coterie: any single view member is a read quorum; the only write
+/// quorum is the entire view.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RowaCoterie;
+
+impl RowaCoterie {
+    /// Creates the ROWA rule.
+    pub fn new() -> Self {
+        RowaCoterie
+    }
+}
+
+impl CoterieRule for RowaCoterie {
+    fn name(&self) -> &'static str {
+        "rowa"
+    }
+
+    fn includes_quorum(&self, view: &View, s: NodeSet, kind: QuorumKind) -> bool {
+        if view.is_empty() {
+            return false;
+        }
+        let present = s.intersection(view.set());
+        match kind {
+            QuorumKind::Read => !present.is_empty(),
+            QuorumKind::Write => view.set().is_subset_of(present),
+        }
+    }
+
+    fn pick_quorum(
+        &self,
+        view: &View,
+        prefer: NodeSet,
+        seed: u64,
+        kind: QuorumKind,
+    ) -> Option<NodeSet> {
+        if view.is_empty() {
+            return None;
+        }
+        let alive = prefer.intersection(view.set());
+        match kind {
+            QuorumKind::Read => {
+                let members = alive.to_vec();
+                if members.is_empty() {
+                    None
+                } else {
+                    Some(NodeSet::singleton(
+                        members[(seed as usize) % members.len()],
+                    ))
+                }
+            }
+            QuorumKind::Write => {
+                if view.set().is_subset_of(alive) {
+                    Some(view.set())
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeId;
+
+    #[test]
+    fn read_one_write_all() {
+        let r = RowaCoterie::new();
+        let view = View::first_n(4);
+        assert!(r.is_read_quorum(&view, NodeSet::singleton(NodeId(2))));
+        assert!(!r.is_read_quorum(&view, NodeSet::EMPTY));
+        assert!(!r.is_write_quorum(&view, NodeSet::first_n(3)));
+        assert!(r.is_write_quorum(&view, NodeSet::first_n(4)));
+    }
+
+    #[test]
+    fn outside_nodes_do_not_count() {
+        let r = RowaCoterie::new();
+        let view = View::first_n(2);
+        assert!(!r.is_read_quorum(&view, NodeSet::singleton(NodeId(9))));
+    }
+
+    #[test]
+    fn pick_quorum_variants() {
+        let r = RowaCoterie::new();
+        let view = View::first_n(4);
+        let alive = NodeSet::from_iter([NodeId(1), NodeId(3)]);
+        let q = r.pick_quorum(&view, alive, 0, QuorumKind::Read).unwrap();
+        assert_eq!(q.len(), 1);
+        assert!(q.is_subset_of(alive));
+        assert!(r.pick_quorum(&view, alive, 0, QuorumKind::Write).is_none());
+        assert_eq!(
+            r.pick_quorum(&view, view.set(), 0, QuorumKind::Write),
+            Some(view.set())
+        );
+    }
+
+    #[test]
+    fn read_choice_rotates_with_seed() {
+        let r = RowaCoterie::new();
+        let view = View::first_n(4);
+        let picks: std::collections::HashSet<_> = (0..4)
+            .map(|s| r.pick_quorum(&view, view.set(), s, QuorumKind::Read).unwrap())
+            .collect();
+        assert_eq!(picks.len(), 4);
+    }
+}

@@ -1,0 +1,165 @@
+//! The coterie rule abstraction (§4 of the paper).
+//!
+//! "We assume that all nodes agree on a *coterie rule* which defines a
+//! coterie over an arbitrary ordered set of nodes. Given two sets of nodes V
+//! and S, coterie-rule(V, S) is true if S includes a write (read) quorum over
+//! V, and false otherwise. We also assume that there is a *quorum function*
+//! that, given a set of nodes V and a node name, yields a list of nodes
+//! representing some quorum over V."
+
+use crate::node::{NodeId, NodeSet, View};
+
+/// Which kind of quorum is being asked about.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum QuorumKind {
+    /// A read quorum: must intersect every write quorum.
+    Read,
+    /// A write quorum: must intersect every read and every write quorum.
+    Write,
+}
+
+/// A rule that unambiguously imposes a coterie on any ordered node set.
+///
+/// Implementations must satisfy, for every view `V`:
+///
+/// 1. **Write/write intersection**: any two sets for which
+///    [`is_write_quorum`](CoterieRule::is_write_quorum) holds intersect.
+/// 2. **Read/write intersection**: any set for which
+///    [`is_read_quorum`](CoterieRule::is_read_quorum) holds intersects every
+///    write quorum.
+/// 3. **Monotonicity**: if `S ⊆ T` and `S` includes a quorum, so does `T`
+///    (the predicate tests "includes a quorum", not "is a minimal quorum").
+///
+/// These are exactly the properties the paper's correctness proof (§4.4)
+/// relies on; the property-based tests in this crate check them for every
+/// shipped rule.
+pub trait CoterieRule: Send + Sync + std::fmt::Debug {
+    /// Human-readable rule name (used in experiment reports).
+    fn name(&self) -> &'static str;
+
+    /// The paper's `coterie-rule(V, S)` for the given quorum kind. `S` is
+    /// implicitly intersected with `V`: members of `S` outside the view never
+    /// help form a quorum.
+    fn includes_quorum(&self, view: &View, s: NodeSet, kind: QuorumKind) -> bool;
+
+    /// The paper's *quorum function*: yields some quorum over `view`,
+    /// preferring members of `prefer` (believed-up nodes) and varying the
+    /// choice with `seed` for load sharing ("it is desirable ... that the
+    /// quorum function yield different quorums for different node names").
+    ///
+    /// Returns `None` if no quorum can be drawn from `prefer ∩ view`; callers
+    /// may retry with `prefer = view.set()` to get an optimistic quorum.
+    fn pick_quorum(
+        &self,
+        view: &View,
+        prefer: NodeSet,
+        seed: u64,
+        kind: QuorumKind,
+    ) -> Option<NodeSet>;
+
+    /// Convenience: `coterie-rule` restricted to read quorums.
+    fn is_read_quorum(&self, view: &View, s: NodeSet) -> bool {
+        self.includes_quorum(view, s, QuorumKind::Read)
+    }
+
+    /// Convenience: `coterie-rule` restricted to write quorums.
+    fn is_write_quorum(&self, view: &View, s: NodeSet) -> bool {
+        self.includes_quorum(view, s, QuorumKind::Write)
+    }
+}
+
+/// Deterministically derives a per-coordinator seed for the quorum function
+/// from a node name and an operation counter, so that different coordinators
+/// spread load over different quorums while remaining reproducible.
+pub fn quorum_seed(coordinator: NodeId, op_seq: u64) -> u64 {
+    // SplitMix64 finalizer: cheap, well-mixed, dependency-free.
+    let mut z = (coordinator.0 as u64)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(op_seq);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Checks whether `quorum` is a *minimal* quorum: removing any member
+/// destroys the quorum property. Useful for tests and enumeration.
+pub fn is_minimal_quorum(
+    rule: &dyn CoterieRule,
+    view: &View,
+    quorum: NodeSet,
+    kind: QuorumKind,
+) -> bool {
+    if !rule.includes_quorum(view, quorum, kind) {
+        return false;
+    }
+    for node in quorum.iter() {
+        let mut reduced = quorum;
+        reduced.remove(node);
+        if rule.includes_quorum(view, reduced, kind) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Shrinks `s` to a minimal quorum by greedily dropping members (highest
+/// names first) while the quorum property is preserved. Returns `None` if `s`
+/// does not include a quorum to begin with.
+pub fn minimize_quorum(
+    rule: &dyn CoterieRule,
+    view: &View,
+    s: NodeSet,
+    kind: QuorumKind,
+) -> Option<NodeSet> {
+    if !rule.includes_quorum(view, s, kind) {
+        return None;
+    }
+    let mut q = s;
+    let mut members = q.to_vec();
+    members.reverse();
+    for node in members {
+        let mut reduced = q;
+        reduced.remove(node);
+        if rule.includes_quorum(view, reduced, kind) {
+            q = reduced;
+        }
+    }
+    Some(q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::majority::MajorityCoterie;
+
+    #[test]
+    fn quorum_seed_spreads() {
+        let a = quorum_seed(NodeId(0), 0);
+        let b = quorum_seed(NodeId(1), 0);
+        let c = quorum_seed(NodeId(0), 1);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+        // Deterministic.
+        assert_eq!(a, quorum_seed(NodeId(0), 0));
+    }
+
+    #[test]
+    fn minimize_yields_minimal() {
+        let rule = MajorityCoterie::new();
+        let view = View::first_n(5);
+        let all = view.set();
+        let q = minimize_quorum(&rule, &view, all, QuorumKind::Write).unwrap();
+        assert_eq!(q.len(), 3);
+        assert!(is_minimal_quorum(&rule, &view, q, QuorumKind::Write));
+        assert!(!is_minimal_quorum(&rule, &view, all, QuorumKind::Write));
+    }
+
+    #[test]
+    fn minimize_rejects_non_quorum() {
+        let rule = MajorityCoterie::new();
+        let view = View::first_n(5);
+        let s = NodeSet::from_iter([NodeId(0), NodeId(1)]);
+        assert!(minimize_quorum(&rule, &view, s, QuorumKind::Write).is_none());
+    }
+}

@@ -1,0 +1,213 @@
+//! Weighted voting (Gifford [6], Garcia-Molina & Barbara [8]): each node
+//! carries a vote weight; a write quorum needs more than half the total view
+//! weight and a read quorum needs `total + 1 - w` votes.
+
+use crate::node::{NodeId, NodeSet, View};
+use crate::rule::{CoterieRule, QuorumKind};
+
+/// A weighted voting coterie. Nodes without an explicit weight get
+/// [`default_weight`](WeightedCoterie::default_weight) (1 by default).
+///
+/// Thresholds over a view with total weight `T`: write quorums gather
+/// `W = ⌊T/2⌋ + 1` votes and read quorums `R = T + 1 - W`, so `R + W > T`
+/// and `2W > T` hold and both intersection properties follow.
+#[derive(Clone, Debug)]
+pub struct WeightedCoterie {
+    weights: Vec<(NodeId, u64)>,
+    default_weight: u64,
+}
+
+impl WeightedCoterie {
+    /// Creates a weighted coterie with the given explicit weights; all other
+    /// nodes weigh 1. Zero-weight nodes ("witness-less" replicas) are
+    /// allowed and simply never contribute votes.
+    pub fn new<I: IntoIterator<Item = (NodeId, u64)>>(weights: I) -> Self {
+        let mut weights: Vec<(NodeId, u64)> = weights.into_iter().collect();
+        weights.sort_by_key(|(n, _)| *n);
+        weights.dedup_by_key(|(n, _)| *n);
+        WeightedCoterie {
+            weights,
+            default_weight: 1,
+        }
+    }
+
+    /// Changes the weight assigned to nodes with no explicit entry.
+    pub fn with_default_weight(mut self, w: u64) -> Self {
+        self.default_weight = w;
+        self
+    }
+
+    /// The vote weight of `node`.
+    pub fn weight(&self, node: NodeId) -> u64 {
+        match self.weights.binary_search_by_key(&node, |(n, _)| *n) {
+            Ok(i) => self.weights[i].1,
+            Err(_) => self.default_weight,
+        }
+    }
+
+    /// Total vote weight of a view.
+    pub fn total_weight(&self, view: &View) -> u64 {
+        view.members().iter().map(|&n| self.weight(n)).sum()
+    }
+
+    /// Vote weight of `s ∩ view`.
+    pub fn set_weight(&self, view: &View, s: NodeSet) -> u64 {
+        s.intersection(view.set())
+            .iter()
+            .map(|n| self.weight(n))
+            .sum()
+    }
+
+    fn threshold(&self, view: &View, kind: QuorumKind) -> u64 {
+        let total = self.total_weight(view);
+        let write = total / 2 + 1;
+        match kind {
+            QuorumKind::Write => write,
+            QuorumKind::Read => total + 1 - write,
+        }
+    }
+}
+
+impl CoterieRule for WeightedCoterie {
+    fn name(&self) -> &'static str {
+        "weighted-voting"
+    }
+
+    fn includes_quorum(&self, view: &View, s: NodeSet, kind: QuorumKind) -> bool {
+        if view.is_empty() || self.total_weight(view) == 0 {
+            return false;
+        }
+        self.set_weight(view, s) >= self.threshold(view, kind)
+    }
+
+    fn pick_quorum(
+        &self,
+        view: &View,
+        prefer: NodeSet,
+        seed: u64,
+        kind: QuorumKind,
+    ) -> Option<NodeSet> {
+        if view.is_empty() || self.total_weight(view) == 0 {
+            return None;
+        }
+        let need = self.threshold(view, kind);
+        let candidates = prefer.intersection(view.set()).to_vec();
+        if candidates.is_empty() {
+            return None;
+        }
+        // Greedy: walk the candidate ring from a seed-dependent start,
+        // heaviest-first within the rotation, until the threshold is met.
+        let start = (seed as usize) % candidates.len();
+        let mut rotated: Vec<NodeId> = candidates[start..]
+            .iter()
+            .chain(&candidates[..start])
+            .copied()
+            .collect();
+        rotated.sort_by_key(|&n| std::cmp::Reverse(self.weight(n)));
+        let mut quorum = NodeSet::new();
+        let mut votes = 0u64;
+        for node in candidates[start..].iter().chain(&candidates[..start]) {
+            if votes >= need {
+                break;
+            }
+            quorum.insert(*node);
+            votes += self.weight(*node);
+        }
+        if votes < need {
+            // Ring walk fell short (zero-weight members); fall back to
+            // heaviest-first to use the fewest nodes.
+            quorum = NodeSet::new();
+            votes = 0;
+            for node in rotated {
+                if votes >= need {
+                    break;
+                }
+                quorum.insert(node);
+                votes += self.weight(node);
+            }
+        }
+        if votes >= need {
+            debug_assert!(self.includes_quorum(view, quorum, kind));
+            Some(quorum)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[u32]) -> NodeSet {
+        NodeSet::from_iter(v.iter().map(|&x| NodeId(x)))
+    }
+
+    #[test]
+    fn unit_weights_behave_like_majority() {
+        let c = WeightedCoterie::new([]);
+        let view = View::first_n(5);
+        assert!(c.is_write_quorum(&view, ids(&[0, 1, 2])));
+        assert!(!c.is_write_quorum(&view, ids(&[0, 1])));
+        assert!(c.is_read_quorum(&view, ids(&[2, 3, 4])));
+    }
+
+    #[test]
+    fn heavy_node_dominates() {
+        // Node 0 has 3 votes, others 1 each: total = 7, W = 4.
+        let c = WeightedCoterie::new([(NodeId(0), 3)]);
+        let view = View::first_n(5);
+        assert!(c.is_write_quorum(&view, ids(&[0, 1]))); // 4 votes
+        assert!(!c.is_write_quorum(&view, ids(&[1, 2, 3]))); // 3 votes
+        assert!(c.is_write_quorum(&view, ids(&[1, 2, 3, 4]))); // 4 votes
+    }
+
+    #[test]
+    fn zero_weight_nodes_never_vote() {
+        let c = WeightedCoterie::new([(NodeId(4), 0)]);
+        let view = View::first_n(5); // total = 4, W = 3
+        assert!(!c.is_write_quorum(&view, ids(&[0, 1, 4])));
+        assert!(c.is_write_quorum(&view, ids(&[0, 1, 2])));
+    }
+
+    #[test]
+    fn all_zero_weights_mean_no_quorum() {
+        let c = WeightedCoterie::new([]).with_default_weight(0);
+        let view = View::first_n(3);
+        assert!(!c.is_write_quorum(&view, view.set()));
+        assert!(c.pick_quorum(&view, view.set(), 0, QuorumKind::Write).is_none());
+    }
+
+    #[test]
+    fn pick_quorum_meets_threshold() {
+        let c = WeightedCoterie::new([(NodeId(0), 5), (NodeId(1), 2)]);
+        let view = View::first_n(6); // total = 5+2+4 = 11, W = 6
+        for seed in 0..6 {
+            let q = c
+                .pick_quorum(&view, view.set(), seed, QuorumKind::Write)
+                .unwrap();
+            assert!(c.is_write_quorum(&view, q), "seed {seed}");
+        }
+        // Without the heavy node, remaining weight is 6 = W: still possible.
+        let mut alive = view.set();
+        alive.remove(NodeId(0));
+        assert!(c
+            .pick_quorum(&view, alive, 0, QuorumKind::Write)
+            .is_some());
+        // Without nodes 0 and 1, weight is 4 < 6: impossible.
+        alive.remove(NodeId(1));
+        assert!(c
+            .pick_quorum(&view, alive, 0, QuorumKind::Write)
+            .is_none());
+    }
+
+    #[test]
+    fn weights_follow_view_membership() {
+        let c = WeightedCoterie::new([(NodeId(9), 10)]);
+        let small_view = View::first_n(3); // node 9 absent: total 3, W 2
+        assert!(c.is_write_quorum(&small_view, ids(&[0, 1])));
+        let big_view = View::new((0..10).map(NodeId)); // total 19, W 10
+        assert!(c.is_write_quorum(&big_view, ids(&[9])));
+        assert!(!c.is_write_quorum(&big_view, ids(&[0, 1, 2, 3, 4, 5, 6, 7, 8])));
+    }
+}

@@ -1,0 +1,163 @@
+//! Network model: per-message latency, reachability (partitions), and the
+//! RPC failure-notification delay.
+
+use crate::time::SimDuration;
+use coterie_quorum::NodeId;
+
+/// Network configuration.
+#[derive(Clone, Debug)]
+pub struct NetConfig {
+    /// Minimum one-way message latency.
+    pub latency_min: SimDuration,
+    /// Maximum one-way message latency (uniformly distributed).
+    pub latency_max: SimDuration,
+    /// How long after the send a `CallFailed` notification reaches the
+    /// sender when the target is down or unreachable (models the RPC
+    /// timeout of the paper's `RPC.CallFailed`).
+    pub fail_notice_delay: SimDuration,
+    /// Latency for a node sending to itself (loopback).
+    pub self_latency: SimDuration,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            latency_min: SimDuration::from_micros(500),
+            latency_max: SimDuration::from_micros(2_000),
+            fail_notice_delay: SimDuration::from_millis(20),
+            self_latency: SimDuration::from_micros(10),
+        }
+    }
+}
+
+impl NetConfig {
+    /// Validates internal consistency; panics on nonsense configurations.
+    pub fn validate(&self) {
+        assert!(
+            self.latency_min <= self.latency_max,
+            "latency_min must not exceed latency_max"
+        );
+        assert!(
+            self.fail_notice_delay >= self.latency_max,
+            "fail_notice_delay should be at least the max latency so that \
+             CallFailed never outruns a successful delivery"
+        );
+    }
+}
+
+/// Partition state: each node carries a group label; nodes communicate iff
+/// their labels match. The default (all zero) is a fully connected network.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Partition {
+    groups: Vec<u32>,
+}
+
+impl Partition {
+    /// Fully connected network over `n` nodes.
+    pub fn connected(n: usize) -> Self {
+        Partition { groups: vec![0; n] }
+    }
+
+    /// Builds a partition from explicit group labels.
+    pub fn from_groups(groups: Vec<u32>) -> Self {
+        Partition { groups }
+    }
+
+    /// Splits the network so that the nodes of `island` form one component
+    /// and everyone else another.
+    pub fn split(n: usize, island: &[NodeId]) -> Self {
+        let mut groups = vec![0u32; n];
+        for node in island {
+            groups[node.index()] = 1;
+        }
+        Partition { groups }
+    }
+
+    /// Number of nodes covered.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// True if no nodes are covered.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// Whether `a` can currently reach `b`.
+    pub fn can_reach(&self, a: NodeId, b: NodeId) -> bool {
+        self.groups
+            .get(a.index())
+            .zip(self.groups.get(b.index()))
+            .is_some_and(|(ga, gb)| ga == gb)
+    }
+
+    /// The group label of `node`.
+    pub fn group_of(&self, node: NodeId) -> u32 {
+        self.groups[node.index()]
+    }
+}
+
+/// Message accounting kept by the simulator, exposed for traffic metrics.
+#[derive(Clone, Debug, Default)]
+pub struct NetCounters {
+    /// Total messages handed to the network.
+    pub sent: u64,
+    /// Messages delivered to their target.
+    pub delivered: u64,
+    /// Messages bounced as `CallFailed`.
+    pub failed: u64,
+    /// Per-node sent counts.
+    pub sent_by: Vec<u64>,
+    /// Per-node received counts.
+    pub received_by: Vec<u64>,
+}
+
+impl NetCounters {
+    pub(crate) fn new(n: usize) -> Self {
+        NetCounters {
+            sent_by: vec![0; n],
+            received_by: vec![0; n],
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        NetConfig::default().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "latency_min")]
+    fn inverted_latency_rejected() {
+        NetConfig {
+            latency_min: SimDuration::from_millis(5),
+            latency_max: SimDuration::from_millis(1),
+            ..Default::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    fn partition_reachability() {
+        let p = Partition::connected(4);
+        assert!(p.can_reach(NodeId(0), NodeId(3)));
+        let p = Partition::split(4, &[NodeId(1), NodeId(2)]);
+        assert!(p.can_reach(NodeId(1), NodeId(2)));
+        assert!(p.can_reach(NodeId(0), NodeId(3)));
+        assert!(!p.can_reach(NodeId(0), NodeId(1)));
+        assert!(p.can_reach(NodeId(2), NodeId(2)));
+        assert_eq!(p.group_of(NodeId(1)), 1);
+        assert_eq!(p.len(), 4);
+    }
+
+    #[test]
+    fn out_of_range_nodes_unreachable() {
+        let p = Partition::connected(2);
+        assert!(!p.can_reach(NodeId(0), NodeId(9)));
+    }
+}

@@ -1,0 +1,271 @@
+//! Behavioural tests of the simulator: delivery, CallFailed semantics,
+//! crash/recovery, timers, partitions, and determinism.
+
+use coterie_quorum::NodeId;
+use coterie_simnet::{
+    Application, Ctx, NodeStatus, Partition, Sim, SimConfig, SimDuration, SimTime, TimerId,
+};
+
+/// A test node that records everything that happens to it.
+#[derive(Default)]
+struct Probe {
+    // durable
+    generation: u32,
+    // volatile
+    received: Vec<(NodeId, u32)>,
+    failures: Vec<NodeId>,
+    timer_fired: Vec<u32>,
+    started: u32,
+    pending_timer: Option<TimerId>,
+}
+
+#[derive(Debug)]
+enum Cmd {
+    Send { to: NodeId, tag: u32 },
+    Arm { tag: u32, delay_ms: u64 },
+    ArmThenCancel { tag: u32, delay_ms: u64 },
+}
+
+impl Application for Probe {
+    type Msg = u32;
+    type Timer = u32;
+    type External = Cmd;
+    type Output = (&'static str, u32);
+
+    fn on_start(&mut self, _ctx: &mut Ctx<'_, Self>) {
+        self.started += 1;
+    }
+
+    fn on_crash(&mut self) {
+        // Durable state survives, volatile resets.
+        self.generation += 1;
+        self.received.clear();
+        self.failures.clear();
+        self.timer_fired.clear();
+        self.pending_timer = None;
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Self>, from: NodeId, msg: u32) {
+        self.received.push((from, msg));
+        ctx.output(("recv", msg));
+    }
+
+    fn on_call_failed(&mut self, ctx: &mut Ctx<'_, Self>, to: NodeId, msg: u32) {
+        self.failures.push(to);
+        ctx.output(("fail", msg));
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Self>, timer: u32) {
+        self.timer_fired.push(timer);
+        ctx.output(("timer", timer));
+    }
+
+    fn on_external(&mut self, ctx: &mut Ctx<'_, Self>, ext: Cmd) {
+        match ext {
+            Cmd::Send { to, tag } => ctx.send(to, tag),
+            Cmd::Arm { tag, delay_ms } => {
+                self.pending_timer = Some(ctx.set_timer(SimDuration::from_millis(delay_ms), tag));
+            }
+            Cmd::ArmThenCancel { tag, delay_ms } => {
+                let id = ctx.set_timer(SimDuration::from_millis(delay_ms), tag);
+                ctx.cancel_timer(id);
+            }
+        }
+    }
+}
+
+fn new_sim(n: usize) -> Sim<Probe> {
+    Sim::new(n, SimConfig::default(), |_| Probe::default())
+}
+
+#[test]
+fn messages_are_delivered_with_latency() {
+    let mut sim = new_sim(2);
+    sim.schedule_external(SimTime::ZERO, NodeId(0), Cmd::Send { to: NodeId(1), tag: 7 });
+    sim.run_for(SimDuration::from_secs(1));
+    assert_eq!(sim.node(NodeId(1)).received, vec![(NodeId(0), 7)]);
+    let outs = sim.take_outputs();
+    assert_eq!(outs.len(), 1);
+    let (t, node, out) = &outs[0];
+    assert!(*t > SimTime::ZERO, "delivery must take nonzero time");
+    assert_eq!(*node, NodeId(1));
+    assert_eq!(*out, ("recv", 7));
+    assert_eq!(sim.counters().sent, 1);
+    assert_eq!(sim.counters().delivered, 1);
+    assert_eq!(sim.counters().failed, 0);
+}
+
+#[test]
+fn send_to_down_node_bounces_as_call_failed() {
+    let mut sim = new_sim(2);
+    sim.crash_now(NodeId(1));
+    sim.schedule_external(SimTime::ZERO, NodeId(0), Cmd::Send { to: NodeId(1), tag: 9 });
+    sim.run_for(SimDuration::from_secs(1));
+    assert_eq!(sim.node(NodeId(0)).failures, vec![NodeId(1)]);
+    assert_eq!(sim.counters().failed, 1);
+    assert_eq!(sim.counters().delivered, 0);
+}
+
+#[test]
+fn crash_during_flight_bounces_message() {
+    let mut sim = new_sim(2);
+    // Crash node 1 a moment after the send, before the ~0.5-2 ms delivery.
+    sim.schedule_external(SimTime::ZERO, NodeId(0), Cmd::Send { to: NodeId(1), tag: 3 });
+    sim.schedule_crash(SimTime(1), NodeId(1));
+    sim.run_for(SimDuration::from_secs(1));
+    assert_eq!(sim.node(NodeId(0)).failures, vec![NodeId(1)]);
+    assert_eq!(sim.node(NodeId(1)).received, vec![]);
+}
+
+#[test]
+fn crash_wipes_volatile_keeps_durable_and_recovery_restarts() {
+    let mut sim = new_sim(2);
+    sim.schedule_external(SimTime::ZERO, NodeId(0), Cmd::Send { to: NodeId(1), tag: 1 });
+    sim.run_for(SimDuration::from_millis(100));
+    assert_eq!(sim.node(NodeId(1)).received.len(), 1);
+    assert_eq!(sim.node(NodeId(1)).started, 1);
+
+    sim.crash_now(NodeId(1));
+    assert_eq!(sim.status(NodeId(1)), NodeStatus::Down);
+    assert_eq!(sim.node(NodeId(1)).generation, 1); // durable increment
+    assert!(sim.node(NodeId(1)).received.is_empty()); // volatile wiped
+
+    sim.recover_now(NodeId(1));
+    assert_eq!(sim.status(NodeId(1)), NodeStatus::Up);
+    assert_eq!(sim.node(NodeId(1)).started, 2); // on_start re-ran
+    assert_eq!(sim.node(NodeId(1)).generation, 1);
+}
+
+#[test]
+fn double_crash_and_double_recover_are_idempotent() {
+    let mut sim = new_sim(1);
+    sim.crash_now(NodeId(0));
+    sim.crash_now(NodeId(0));
+    assert_eq!(sim.node(NodeId(0)).generation, 1);
+    sim.recover_now(NodeId(0));
+    sim.recover_now(NodeId(0));
+    assert_eq!(sim.node(NodeId(0)).started, 2);
+}
+
+#[test]
+fn timers_fire_in_order_and_cancel_works() {
+    let mut sim = new_sim(1);
+    sim.schedule_external(SimTime::ZERO, NodeId(0), Cmd::Arm { tag: 2, delay_ms: 20 });
+    sim.schedule_external(SimTime::ZERO, NodeId(0), Cmd::Arm { tag: 1, delay_ms: 10 });
+    sim.schedule_external(
+        SimTime::ZERO,
+        NodeId(0),
+        Cmd::ArmThenCancel { tag: 99, delay_ms: 5 },
+    );
+    sim.run_for(SimDuration::from_secs(1));
+    assert_eq!(sim.node(NodeId(0)).timer_fired, vec![1, 2]);
+}
+
+#[test]
+fn timers_do_not_survive_crash() {
+    let mut sim = new_sim(1);
+    sim.schedule_external(SimTime::ZERO, NodeId(0), Cmd::Arm { tag: 5, delay_ms: 50 });
+    sim.schedule_crash(SimTime(10_000), NodeId(0));
+    sim.schedule_recover(SimTime(20_000), NodeId(0));
+    sim.run_for(SimDuration::from_secs(1));
+    assert!(
+        sim.node(NodeId(0)).timer_fired.is_empty(),
+        "timer armed before the crash must not fire after recovery"
+    );
+}
+
+#[test]
+fn partitions_block_and_heal() {
+    let mut sim = new_sim(4);
+    sim.set_partition_now(Partition::split(4, &[NodeId(2), NodeId(3)]));
+    sim.schedule_external(SimTime::ZERO, NodeId(0), Cmd::Send { to: NodeId(2), tag: 1 });
+    sim.schedule_external(SimTime::ZERO, NodeId(0), Cmd::Send { to: NodeId(1), tag: 2 });
+    sim.run_for(SimDuration::from_millis(100));
+    assert_eq!(sim.node(NodeId(0)).failures, vec![NodeId(2)]);
+    assert_eq!(sim.node(NodeId(1)).received, vec![(NodeId(0), 2)]);
+
+    // Heal and retry.
+    sim.set_partition_now(Partition::connected(4));
+    let t = sim.now();
+    sim.schedule_external(t, NodeId(0), Cmd::Send { to: NodeId(2), tag: 3 });
+    sim.run_for(SimDuration::from_millis(100));
+    assert_eq!(sim.node(NodeId(2)).received, vec![(NodeId(0), 3)]);
+}
+
+#[test]
+fn self_send_works() {
+    let mut sim = new_sim(1);
+    sim.schedule_external(SimTime::ZERO, NodeId(0), Cmd::Send { to: NodeId(0), tag: 4 });
+    sim.run_for(SimDuration::from_millis(10));
+    assert_eq!(sim.node(NodeId(0)).received, vec![(NodeId(0), 4)]);
+}
+
+#[test]
+fn externals_at_down_nodes_are_dropped() {
+    let mut sim = new_sim(2);
+    sim.crash_now(NodeId(0));
+    sim.schedule_external(SimTime::ZERO, NodeId(0), Cmd::Send { to: NodeId(1), tag: 8 });
+    sim.run_for(SimDuration::from_secs(1));
+    assert_eq!(sim.counters().sent, 0);
+    assert!(sim.node(NodeId(1)).received.is_empty());
+}
+
+#[test]
+fn identical_seeds_give_identical_runs() {
+    let run = |seed: u64| {
+        let mut sim = Sim::new(
+            3,
+            SimConfig {
+                seed,
+                ..Default::default()
+            },
+            |_| Probe::default(),
+        );
+        for i in 0..50u64 {
+            let at = SimTime(i * 1_000);
+            sim.schedule_external(
+                at,
+                NodeId((i % 3) as u32),
+                Cmd::Send {
+                    to: NodeId(((i + 1) % 3) as u32),
+                    tag: i as u32,
+                },
+            );
+        }
+        sim.schedule_crash(SimTime(20_000), NodeId(1));
+        sim.schedule_recover(SimTime(35_000), NodeId(1));
+        sim.run_for(SimDuration::from_secs(2));
+        sim.take_outputs()
+            .into_iter()
+            .map(|(t, n, o)| (t.micros(), n.0, o))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(42), run(42));
+    assert_ne!(run(42), run(43), "different seeds should reorder latencies");
+}
+
+#[test]
+fn run_until_advances_clock_even_when_idle() {
+    let mut sim = new_sim(1);
+    sim.run_until(SimTime(500_000));
+    assert_eq!(sim.now(), SimTime(500_000));
+}
+
+#[test]
+fn counters_track_per_node_traffic() {
+    let mut sim = new_sim(3);
+    for i in 0..5 {
+        sim.schedule_external(
+            SimTime(i * 100),
+            NodeId(0),
+            Cmd::Send { to: NodeId(1), tag: i as u32 },
+        );
+    }
+    sim.schedule_external(SimTime::ZERO, NodeId(2), Cmd::Send { to: NodeId(1), tag: 9 });
+    sim.run_for(SimDuration::from_secs(1));
+    let c = sim.counters();
+    assert_eq!(c.sent_by[0], 5);
+    assert_eq!(c.sent_by[2], 1);
+    assert_eq!(c.received_by[1], 6);
+    assert_eq!(c.sent, 6);
+}

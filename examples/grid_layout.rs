@@ -1,0 +1,51 @@
+//! Grid construction (the paper's Figures 1 and 2): `DefineGrid`, the
+//! row-major placement with bottom-right holes, quorum membership, and how
+//! the layout changes as the epoch shrinks.
+//!
+//! Run with: `cargo run --example grid_layout [N]`
+
+use dyncoterie::quorum::{CoterieRule, GridCoterie, GridShape, NodeId, NodeSet, QuorumKind, View};
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(14);
+    let rule = GridCoterie::new();
+
+    // The paper's Figure 1 (N = 14 by default).
+    let view = View::first_n(n);
+    println!("{}", rule.render(&view));
+    let shape = GridShape::define(n);
+    println!(
+        "read quorum size {}, write quorum size {}\n",
+        shape.read_quorum_size(),
+        shape.write_quorum_size()
+    );
+
+    // Show a picked write quorum for a few different coordinators — the
+    // quorum function spreads load.
+    for seed in 0..3u64 {
+        let quorum = rule
+            .pick_quorum(&view, view.set(), seed, QuorumKind::Write)
+            .unwrap();
+        println!("write quorum (seed {seed}): {:?}", quorum.to_vec());
+    }
+
+    // The paper's worked example for N = 14: {1, 6, 3, 7, 11, 4} (1-based).
+    if n == 14 {
+        let example = NodeSet::from_iter([0u32, 5, 2, 6, 10, 3].map(NodeId));
+        println!(
+            "\npaper's example quorum {{1, 6, 3, 7, 11, 4}}: is_write_quorum = {}",
+            rule.is_write_quorum(&view, example)
+        );
+    }
+
+    // Figure 2: the N = 3 grid, and how a shrunken epoch re-derives its
+    // grid over survivors with arbitrary names.
+    println!("\n--- epoch shrinkage ---");
+    for members in [vec![0u32, 1, 2, 5, 7], vec![0, 2, 7], vec![2, 7]] {
+        let epoch = View::new(members.iter().copied().map(NodeId));
+        println!("{}", rule.render(&epoch));
+    }
+}
