@@ -2,6 +2,7 @@
 //! quorum selection, per rule and view size (backs E6's size claims with
 //! cost measurements).
 
+use coterie_quorum::availability::exact_availability;
 use coterie_quorum::{
     CoterieRule, GridCoterie, MajorityCoterie, NodeSet, QuorumKind, RowaCoterie, TreeCoterie,
     View,
@@ -60,5 +61,100 @@ fn bench_grid_define(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_is_quorum, bench_pick_quorum, bench_grid_define);
+/// Legacy predicate vs. compiled-plan evaluation, per rule and view size.
+/// The acceptance bar for the plan compiler: grid at N = 25 must come out
+/// >= 5x faster compiled than legacy.
+fn bench_quorum_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quorum_eval");
+    for n in [9usize, 25, 64, 100] {
+        let view = View::first_n(n);
+        let s = NodeSet::first_n(n * 2 / 3 + 1);
+        for (name, rule) in rules() {
+            let plan = rule.compile(&view);
+            group.bench_with_input(
+                BenchmarkId::new(format!("legacy/{name}"), n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        black_box(rule.includes_quorum(&view, black_box(s), QuorumKind::Write))
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("compiled/{name}"), n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        black_box(plan.includes_quorum_with(
+                            &*rule,
+                            black_box(s),
+                            QuorumKind::Write,
+                        ))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Cold-compile cost: what one epoch change pays to rebuild a plan.
+fn bench_plan_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plan_compile");
+    for n in [9usize, 25, 100] {
+        let view = View::first_n(n);
+        for (name, rule) in rules() {
+            group.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
+                b.iter(|| black_box(rule.compile(black_box(&view))))
+            });
+        }
+    }
+    group.finish();
+}
+
+/// The 2^N availability enumeration at N = 20: the sequential legacy loop
+/// (predicates straight off the rule, no plan, one thread) against the
+/// shipped plan-compiled parallel sweep. Acceptance bar: >= 2x.
+fn bench_exact_availability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_availability");
+    group.sample_size(10);
+    let n = 20usize;
+    let view = View::first_n(n);
+    let p = 0.9f64;
+    let rule = GridCoterie::new();
+    group.bench_with_input(BenchmarkId::new("legacy_seq/grid", n), &n, |b, _| {
+        b.iter(|| {
+            let bits: Vec<u128> = view.members().iter().map(|m| 1u128 << m.index()).collect();
+            let mut total = 0.0f64;
+            for mask in 0u64..(1 << n) {
+                let mut up = 0u128;
+                let mut rest = mask;
+                while rest != 0 {
+                    let i = rest.trailing_zeros() as usize;
+                    up |= bits[i];
+                    rest &= rest - 1;
+                }
+                if rule.includes_quorum(&view, NodeSet(up), QuorumKind::Write) {
+                    let k = mask.count_ones() as i32;
+                    total += p.powi(k) * (1.0 - p).powi(n as i32 - k);
+                }
+            }
+            black_box(total)
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("plan_parallel/grid", n), &n, |b, _| {
+        b.iter(|| black_box(exact_availability(&rule, &view, p, QuorumKind::Write)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_is_quorum,
+    bench_pick_quorum,
+    bench_grid_define,
+    bench_quorum_eval,
+    bench_plan_compile,
+    bench_exact_availability
+);
 criterion_main!(benches);

@@ -2,7 +2,7 @@
 //! `Write` / `HeavyProcedure` / `CheckEpoch` pseudo-code.
 
 use crate::msg::StateTuple;
-use coterie_quorum::{CoterieRule, NodeId, NodeSet, QuorumKind, View};
+use coterie_quorum::{CoterieRule, NodeId, NodeSet, PlanCache, QuorumKind, View};
 use std::collections::BTreeMap;
 
 /// The digest of a response set.
@@ -35,8 +35,15 @@ pub struct Classified {
 
 impl Classified {
     /// Evaluates `responses` exactly as the paper's pseudo-code does.
+    ///
+    /// The quorum test runs through `plans`, which memoizes one compiled
+    /// [`coterie_quorum::QuorumPlan`] per distinct epoch list — response
+    /// classification repeatedly judges quorums over the same (current)
+    /// epoch, so the rule's structure is derived once per epoch rather
+    /// than once per evaluation.
     pub fn evaluate(
         rule: &dyn CoterieRule,
+        plans: &mut PlanCache,
         responses: &BTreeMap<NodeId, StateTuple>,
         kind: QuorumKind,
     ) -> Option<Classified> {
@@ -65,7 +72,9 @@ impl Classified {
         let good_set = NodeSet::from_iter(good.iter().copied());
         let mut stale: Vec<NodeId> = responders.difference(good_set).iter().collect();
         stale.sort_unstable();
-        let has_quorum = rule.includes_quorum(&view, responders, kind);
+        let has_quorum = plans
+            .plan_for(rule, &view)
+            .includes_quorum_with(rule, responders, kind);
         Some(Classified {
             view,
             enumber,
@@ -118,13 +127,15 @@ mod tests {
     #[test]
     fn empty_responses_yield_none() {
         let rule = MajorityCoterie::new();
+        let mut plans = PlanCache::new();
         let map = BTreeMap::new();
-        assert!(Classified::evaluate(&rule, &map, QuorumKind::Write).is_none());
+        assert!(Classified::evaluate(&rule, &mut plans, &map, QuorumKind::Write).is_none());
     }
 
     #[test]
     fn picks_max_epoch_view_and_partitions_good_stale() {
         let rule = MajorityCoterie::new();
+        let mut plans = PlanCache::new();
         let map: BTreeMap<_, _> = [
             resp(0, 5, false, 0, 2, &[0, 1, 2]),
             resp(1, 5, false, 0, 2, &[0, 1, 2]),
@@ -132,7 +143,7 @@ mod tests {
         ]
         .into_iter()
         .collect();
-        let c = Classified::evaluate(&rule, &map, QuorumKind::Write).unwrap();
+        let c = Classified::evaluate(&rule, &mut plans, &map, QuorumKind::Write).unwrap();
         assert_eq!(c.enumber, 2);
         assert_eq!(c.view.members().len(), 3);
         assert_eq!(c.max_version, Some(5));
@@ -146,13 +157,14 @@ mod tests {
     #[test]
     fn stale_with_higher_dversion_blocks() {
         let rule = MajorityCoterie::new();
+        let mut plans = PlanCache::new();
         let map: BTreeMap<_, _> = [
             resp(0, 4, false, 0, 0, &[0, 1, 2]),
             resp(1, 2, true, 5, 0, &[0, 1, 2]),
         ]
         .into_iter()
         .collect();
-        let c = Classified::evaluate(&rule, &map, QuorumKind::Write).unwrap();
+        let c = Classified::evaluate(&rule, &mut plans, &map, QuorumKind::Write).unwrap();
         assert_eq!(c.max_version, Some(4));
         assert_eq!(c.max_dversion, 5);
         assert!(!c.has_current_replica());
@@ -162,13 +174,14 @@ mod tests {
     #[test]
     fn all_stale_has_no_current_replica() {
         let rule = MajorityCoterie::new();
+        let mut plans = PlanCache::new();
         let map: BTreeMap<_, _> = [
             resp(0, 4, true, 5, 0, &[0, 1, 2]),
             resp(1, 2, true, 5, 0, &[0, 1, 2]),
         ]
         .into_iter()
         .collect();
-        let c = Classified::evaluate(&rule, &map, QuorumKind::Write).unwrap();
+        let c = Classified::evaluate(&rule, &mut plans, &map, QuorumKind::Write).unwrap();
         assert_eq!(c.max_version, None);
         assert!(!c.has_current_replica());
         assert!(c.good.is_empty());
@@ -179,6 +192,7 @@ mod tests {
     #[test]
     fn quorum_judged_over_max_epoch_view() {
         let rule = MajorityCoterie::new();
+        let mut plans = PlanCache::new();
         // Responder 0 reports a shrunken epoch {0, 1}; responders {0, 1}
         // are a majority of it even though they are a minority of {0..4}.
         let map: BTreeMap<_, _> = [
@@ -187,17 +201,18 @@ mod tests {
         ]
         .into_iter()
         .collect();
-        let c = Classified::evaluate(&rule, &map, QuorumKind::Write).unwrap();
+        let c = Classified::evaluate(&rule, &mut plans, &map, QuorumKind::Write).unwrap();
         assert!(c.has_quorum);
         // A single responder of the pair is not a write quorum.
         let map1: BTreeMap<_, _> = [resp(0, 1, false, 0, 3, &[0, 1])].into_iter().collect();
-        let c1 = Classified::evaluate(&rule, &map1, QuorumKind::Write).unwrap();
+        let c1 = Classified::evaluate(&rule, &mut plans, &map1, QuorumKind::Write).unwrap();
         assert!(!c1.has_quorum);
     }
 
     #[test]
     fn stale_members_equal_in_version_still_stale() {
         let rule = MajorityCoterie::new();
+        let mut plans = PlanCache::new();
         // A stale responder at the max version is still STALE (the paper's
         // GOOD set requires stale_i = 0).
         let map: BTreeMap<_, _> = [
@@ -206,7 +221,7 @@ mod tests {
         ]
         .into_iter()
         .collect();
-        let c = Classified::evaluate(&rule, &map, QuorumKind::Write).unwrap();
+        let c = Classified::evaluate(&rule, &mut plans, &map, QuorumKind::Write).unwrap();
         assert_eq!(c.good, vec![NodeId(0)]);
         assert_eq!(c.stale, vec![NodeId(1)]);
         assert!(c.has_current_replica());

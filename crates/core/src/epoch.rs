@@ -185,8 +185,12 @@ impl ReplicaNode {
         if let Some(t) = ec.collect_timer.take() {
             ctx.cancel_timer(t);
         }
-        let Some(c) = Classified::evaluate(&*self.config.rule, &ec.responses, QuorumKind::Write)
-        else {
+        let Some(c) = Classified::evaluate(
+            &*self.config.rule,
+            &mut self.vol.plans,
+            &ec.responses,
+            QuorumKind::Write,
+        ) else {
             self.finish_epoch_check(ctx, op);
             return;
         };

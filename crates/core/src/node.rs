@@ -11,7 +11,7 @@ use crate::propagate::{IncomingProp, Propagator};
 use crate::read::ReadCoordinator;
 use crate::store::{PagedObject, WriteLog};
 use crate::write::WriteCoordinator;
-use coterie_quorum::{NodeId, View};
+use coterie_quorum::{NodeId, PlanCache, View};
 use coterie_simnet::{Application, Ctx, SimDuration, SimTime, TimerId};
 use std::collections::HashMap;
 
@@ -161,6 +161,10 @@ pub struct Volatile {
     pub decision_retry_armed: std::collections::HashSet<OpId>,
     /// Bully-election state (used when `initiator` is `Bully`).
     pub election: ElectionState,
+    /// Compiled quorum plans, keyed by epoch member set. Purely a cache:
+    /// rebuilt on demand after a crash, and stale entries for dead epochs
+    /// are harmless (they are simply never looked up again).
+    pub plans: PlanCache,
 }
 
 /// Cumulative per-node counters. Not protocol state: kept across crashes so

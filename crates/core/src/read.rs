@@ -164,7 +164,12 @@ impl ReplicaNode {
         if let Some(t) = rc.collect_timer.take() {
             ctx.cancel_timer(t);
         }
-        let classified = Classified::evaluate(&*self.config.rule, &rc.granted, QuorumKind::Read);
+        let classified = Classified::evaluate(
+            &*self.config.rule,
+            &mut self.vol.plans,
+            &rc.granted,
+            QuorumKind::Read,
+        );
         match classified {
             Some(c) if c.has_quorum && c.has_current_replica() => {
                 // Fetch from a current replica; prefer ourselves (free).
@@ -214,7 +219,7 @@ impl ReplicaNode {
         }
     }
 
-    fn read_failure_reason(&self, op: OpId) -> FailReason {
+    fn read_failure_reason(&mut self, op: OpId) -> FailReason {
         let Some(rc) = self.vol.reads.get(&op) else {
             return FailReason::NoQuorum;
         };
@@ -228,7 +233,13 @@ impl ReplicaNode {
             .collect::<NodeSet>()
             .union(rc.refused);
         let view = self.durable.epoch_view();
-        if self.config.rule.includes_quorum(&view, optimistic, QuorumKind::Read) {
+        let rule = &*self.config.rule;
+        if self
+            .vol
+            .plans
+            .plan_for(rule, &view)
+            .includes_quorum_with(rule, optimistic, QuorumKind::Read)
+        {
             FailReason::Contention
         } else {
             FailReason::NoQuorum

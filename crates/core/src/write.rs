@@ -36,8 +36,6 @@ pub enum WPhase {
         classified: Classified,
         /// Obsolete quorum members to reconcile.
         targets: Vec<NodeId>,
-        /// Current replicas that will take the write directly.
-        good: Vec<NodeId>,
         /// The snapshot source.
         source: NodeId,
         /// Fetch timeout.
@@ -214,7 +212,12 @@ impl ReplicaNode {
         if let Some(t) = wc.collect_timer.take() {
             ctx.cancel_timer(t);
         }
-        let classified = Classified::evaluate(&*self.config.rule, &wc.granted, QuorumKind::Write);
+        let classified = Classified::evaluate(
+            &*self.config.rule,
+            &mut self.vol.plans,
+            &wc.granted,
+            QuorumKind::Write,
+        );
         match classified {
             Some(c) if c.has_quorum => {
                 if !c.has_current_replica() {
@@ -253,7 +256,7 @@ impl ReplicaNode {
 
     /// Would the refused (busy) nodes have completed a quorum? Then the
     /// failure is contention and worth retrying.
-    fn write_failure_reason(&self, op: OpId) -> FailReason {
+    fn write_failure_reason(&mut self, op: OpId) -> FailReason {
         let Some(wc) = self.vol.writes.get(&op) else {
             return FailReason::NoQuorum;
         };
@@ -272,7 +275,12 @@ impl ReplicaNode {
             }))
             .map(|s| (s.node, s))
             .collect();
-        match Classified::evaluate(&*self.config.rule, &optimistic, QuorumKind::Write) {
+        match Classified::evaluate(
+            &*self.config.rule,
+            &mut self.vol.plans,
+            &optimistic,
+            QuorumKind::Write,
+        ) {
             Some(c) if c.has_quorum && !wc.refused.is_empty() => FailReason::Contention,
             _ => FailReason::NoQuorum,
         }
@@ -329,15 +337,6 @@ impl ReplicaNode {
         let timeout = self.config.vote_timeout;
         let timer = ctx.set_timer(timeout, Timer::Votes { op });
         let write = wc.write.clone();
-        wc.phase = WPhase::Voting {
-            participants: participants.clone(),
-            yes: NodeSet::new(),
-            optional: optional.clone(),
-            optional_yes: NodeSet::new(),
-            new_version,
-            stale: c.stale.clone(),
-            timer,
-        };
         for &node in c.good.iter().chain(optional.iter()) {
             ctx.send(
                 node,
@@ -367,6 +366,17 @@ impl ReplicaNode {
                 },
             );
         }
+        // The fan-out above is done with these vectors: the phase takes
+        // them by move.
+        wc.phase = WPhase::Voting {
+            participants,
+            yes: NodeSet::new(),
+            optional,
+            optional_yes: NodeSet::new(),
+            new_version,
+            stale: c.stale,
+            timer,
+        };
     }
 
     /// Write-all-current commit: the write goes only to current replicas;
@@ -375,7 +385,10 @@ impl ReplicaNode {
     fn start_wac_commit(&mut self, ctx: &mut NodeCtx<'_>, op: OpId, c: Classified) {
         let good_set = NodeSet::from_iter(c.good.iter().copied());
         let rule = self.config.rule.clone();
-        if rule.includes_quorum(&c.view, good_set, QuorumKind::Write) {
+        // One compiled plan covers all three quorum tests below; the clone
+        // out of the cache keeps `self.vol` free for the coordinator borrow.
+        let plan = self.vol.plans.plan_for(&*rule, &c.view).clone();
+        if plan.includes_quorum_with(&*rule, good_set, QuorumKind::Write) {
             // Current replicas form a quorum: release the rest and commit.
             let Some(wc) = self.vol.writes.get_mut(&op) else {
                 return;
@@ -394,15 +407,6 @@ impl ReplicaNode {
             let timeout = self.config.vote_timeout;
             let timer = ctx.set_timer(timeout, Timer::Votes { op });
             let write = wc.write.clone();
-            wc.phase = WPhase::Voting {
-                participants: c.good.clone(),
-                yes: NodeSet::new(),
-                optional: Vec::new(),
-                optional_yes: NodeSet::new(),
-                new_version,
-                stale: Vec::new(),
-                timer,
-            };
             for &node in &c.good {
                 ctx.send(
                     node,
@@ -418,6 +422,15 @@ impl ReplicaNode {
                     },
                 );
             }
+            wc.phase = WPhase::Voting {
+                participants: c.good,
+                yes: NodeSet::new(),
+                optional: Vec::new(),
+                optional_yes: NodeSet::new(),
+                new_version,
+                stale: Vec::new(),
+                timer,
+            };
             return;
         }
         // Need reconciliation: choose obsolete granted members until
@@ -436,14 +449,14 @@ impl ReplicaNode {
                 .collect();
             candidates.sort_unstable();
             for n in candidates {
-                if rule.includes_quorum(&c.view, combined, QuorumKind::Write) {
+                if plan.includes_quorum_with(&*rule, combined, QuorumKind::Write) {
                     break;
                 }
                 combined.insert(n);
                 targets.push(n);
             }
         }
-        if !rule.includes_quorum(&c.view, combined, QuorumKind::Write) {
+        if !plan.includes_quorum_with(&*rule, combined, QuorumKind::Write) {
             self.finish_write_fail(ctx, op, FailReason::NoQuorum);
             return;
         }
@@ -465,14 +478,12 @@ impl ReplicaNode {
         }
         let timeout = self.config.collect_timeout;
         let timer = ctx.set_timer(timeout, Timer::Fetch { op });
-        let good = c.good.clone();
         let Some(wc) = self.vol.writes.get_mut(&op) else {
             return;
         };
         wc.phase = WPhase::FetchBase {
             classified: c,
             targets,
-            good,
             source,
             timer,
         };
@@ -600,9 +611,8 @@ impl ReplicaNode {
             yes: yes_set,
             optional,
             optional_yes,
-            new_version,
-            stale,
             timer,
+            ..
         } = &mut wc.phase
         else {
             return;
@@ -632,16 +642,20 @@ impl ReplicaNode {
         // participants plus every optional replica that managed to prepare.
         // (Optional replicas whose yes-vote arrives after this moment learn
         // the outcome through the decision-query path.)
-        let (participants, committed_optional, new_version, stale, timer) = (
-            participants.clone(),
-            optional_yes.to_vec(),
-            *new_version,
-            stale.clone(),
-            *timer,
-        );
+        let WPhase::Voting {
+            participants,
+            optional_yes: committed_optional,
+            new_version,
+            stale,
+            timer,
+            ..
+        } = std::mem::replace(&mut wc.phase, WPhase::Collect)
+        else {
+            unreachable!();
+        };
         ctx.cancel_timer(timer);
         self.durable.decisions.insert(op, true);
-        for p in participants.iter().copied().chain(committed_optional.iter().copied()) {
+        for p in participants.iter().copied().chain(committed_optional.iter()) {
             ctx.send(p, Msg::Decision { op, commit: true });
         }
         let wc = self.vol.writes.remove(&op).expect("present");

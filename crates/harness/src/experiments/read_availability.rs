@@ -8,7 +8,7 @@
 use crate::report::{sci, Table};
 use coterie_markov::exact_unavailability_kind;
 use coterie_quorum::availability::{grid_read_availability, grid_write_availability};
-use coterie_quorum::{CoterieRule, GridCoterie, GridShape, NodeSet, QuorumKind, View};
+use coterie_quorum::{CoterieRule, GridCoterie, GridShape, NodeSet, PlanCache, QuorumKind};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::Serialize;
@@ -69,13 +69,16 @@ pub fn mc_dynamic_read(n: usize, p: f64, horizon: f64, seed: u64) -> f64 {
     let mut epoch = NodeSet::first_n(n);
     let mut t = 0.0;
     let mut unavailable = 0.0;
+    // One compiled plan per distinct epoch instead of re-deriving the grid
+    // layout twice per event.
+    let mut plans = PlanCache::new();
     while t < horizon {
         let up_count = up.len() as f64;
         let down_count = (n - up.len()) as f64;
         let total = up_count * 1.0 + down_count * mu;
         let dt = -rng.gen::<f64>().max(f64::MIN_POSITIVE).ln() / total;
-        let view = View::from_set(epoch);
-        if !rule.includes_quorum(&view, up.intersection(epoch), QuorumKind::Read) {
+        let plan = plans.plan_for_set(&*rule, epoch);
+        if !plan.includes_quorum_with(&*rule, up.intersection(epoch), QuorumKind::Read) {
             unavailable += dt;
         }
         t += dt;
@@ -89,8 +92,10 @@ pub fn mc_dynamic_read(n: usize, p: f64, horizon: f64, seed: u64) -> f64 {
         }
         // Instantaneous epoch check (write-quorum reform rule, as in the
         // protocol: epochs change only with a write quorum of the old one).
-        let view = View::from_set(epoch);
-        if epoch != up && rule.includes_quorum(&view, up.intersection(epoch), QuorumKind::Write) {
+        let plan = plans.plan_for_set(&*rule, epoch);
+        if epoch != up
+            && plan.includes_quorum_with(&*rule, up.intersection(epoch), QuorumKind::Write)
+        {
             epoch = up;
         }
     }

@@ -5,7 +5,7 @@
 //! assumption (E9), and to measure the structure-aware dynamics at sizes
 //! the exact chain cannot reach (E10).
 
-use coterie_quorum::{CoterieRule, NodeId, NodeSet, QuorumKind, View};
+use coterie_quorum::{CoterieRule, NodeId, NodeSet, PlanCache, QuorumKind};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
@@ -97,7 +97,10 @@ pub fn simulate(config: &SiteModelConfig) -> AvailabilityEstimate {
     let mut events = 0u64;
     let mut epoch_changes = 0u64;
 
-    let available = |epoch: NodeSet, up: NodeSet| -> bool {
+    // Quorum predicates are evaluated on every event but always against
+    // the current epoch; the cache compiles one plan per distinct epoch.
+    let mut plans = PlanCache::new();
+    let available = |plans: &mut PlanCache, epoch: NodeSet, up: NodeSet| -> bool {
         match &config.dynamics {
             EpochDynamics::Idealized { min_epoch } => {
                 // Frozen epochs are exactly the case epoch ⊄ up; while the
@@ -105,13 +108,12 @@ pub fn simulate(config: &SiteModelConfig) -> AvailabilityEstimate {
                 // as the epoch is at least the minimum size.
                 epoch.is_subset_of(up) && epoch.len() >= (*min_epoch).min(n)
             }
-            EpochDynamics::Exact { rule } | EpochDynamics::Static { rule } => {
-                let view = View::from_set(epoch);
-                rule.includes_quorum(&view, up.intersection(epoch), QuorumKind::Write)
-            }
+            EpochDynamics::Exact { rule } | EpochDynamics::Static { rule } => plans
+                .plan_for_set(&**rule, epoch)
+                .includes_quorum_with(&**rule, up.intersection(epoch), QuorumKind::Write),
         }
     };
-    let can_reform = |epoch: NodeSet, up: NodeSet| -> bool {
+    let can_reform = |plans: &mut PlanCache, epoch: NodeSet, up: NodeSet| -> bool {
         match &config.dynamics {
             EpochDynamics::Idealized { min_epoch } => {
                 let me = (*min_epoch).min(n);
@@ -124,10 +126,9 @@ pub fn simulate(config: &SiteModelConfig) -> AvailabilityEstimate {
                     survivors + 1 >= epoch.len()
                 }
             }
-            EpochDynamics::Exact { rule } => {
-                let view = View::from_set(epoch);
-                rule.includes_quorum(&view, up.intersection(epoch), QuorumKind::Write)
-            }
+            EpochDynamics::Exact { rule } => plans
+                .plan_for_set(&**rule, epoch)
+                .includes_quorum_with(&**rule, up.intersection(epoch), QuorumKind::Write),
             EpochDynamics::Static { .. } => false,
         }
     };
@@ -142,13 +143,13 @@ pub fn simulate(config: &SiteModelConfig) -> AvailabilityEstimate {
         // Accrue availability over the sojourn [t, t+dt).
         if t >= config.warmup {
             measured_time += dt;
-            if available(epoch, up) {
+            if available(&mut plans, epoch, up) {
                 available_time += dt;
             }
         } else if t + dt > config.warmup {
             let tail = t + dt - config.warmup;
             measured_time += tail;
-            if available(epoch, up) {
+            if available(&mut plans, epoch, up) {
                 available_time += tail;
             }
         }
@@ -187,7 +188,7 @@ pub fn simulate(config: &SiteModelConfig) -> AvailabilityEstimate {
         if run_check
             && !matches!(config.dynamics, EpochDynamics::Static { .. })
             && epoch != up
-            && can_reform(epoch, up)
+            && can_reform(&mut plans, epoch, up)
         {
             epoch = up;
             epoch_changes += 1;
@@ -213,13 +214,42 @@ pub fn replicated_unavailability(
     replications: usize,
 ) -> (f64, f64) {
     assert!(replications >= 1);
-    let samples: Vec<f64> = (0..replications)
-        .map(|i| {
-            let mut c = config.clone();
-            c.seed = config.seed.wrapping_add(i as u64).wrapping_mul(0x9E37_79B9);
-            simulate(&c).unavailability
+    let run = |i: usize| {
+        let mut c = config.clone();
+        c.seed = config.seed.wrapping_add(i as u64).wrapping_mul(0x9E37_79B9);
+        simulate(&c).unavailability
+    };
+    let workers = std::thread::available_parallelism()
+        .map(|w| w.get())
+        .unwrap_or(1)
+        .min(replications);
+    // Replications are independent and each is seeded by its own index, so
+    // the sample vector is identical to the sequential one no matter how
+    // many worker threads carry them.
+    let samples: Vec<f64> = if workers <= 1 {
+        (0..replications).map(run).collect()
+    } else {
+        std::thread::scope(|scope| {
+            let run = &run;
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    scope.spawn(move || {
+                        (w..replications)
+                            .step_by(workers)
+                            .map(|i| (i, run(i)))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            let mut samples = vec![0.0; replications];
+            for h in handles {
+                for (i, s) in h.join().unwrap() {
+                    samples[i] = s;
+                }
+            }
+            samples
         })
-        .collect();
+    };
     let mean = samples.iter().sum::<f64>() / samples.len() as f64;
     let var = samples
         .iter()

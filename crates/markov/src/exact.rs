@@ -12,7 +12,8 @@
 
 use crate::chain::{Ctmc, CtmcBuilder};
 use crate::solve::{probability_of, stationary, SolveError};
-use coterie_quorum::{CoterieRule, NodeId, NodeSet, QuorumKind, View};
+use coterie_quorum::{CoterieRule, NodeId, NodeSet, PlanCache, QuorumKind};
+use std::cell::RefCell;
 use std::collections::VecDeque;
 
 /// A state of the exact chain.
@@ -59,6 +60,10 @@ pub fn exact_chain(
     b.state(start);
     let mut queue = VecDeque::from([start]);
     let mut seen = std::collections::HashSet::from([start]);
+    // The BFS revisits the same epoch view for many up-sets; compile each
+    // epoch's quorum plan once instead of re-deriving the rule structure
+    // on every transition.
+    let mut plans = PlanCache::new();
     let push = |b: &mut CtmcBuilder<ExactState>,
                     queue: &mut VecDeque<ExactState>,
                     seen: &mut std::collections::HashSet<ExactState>,
@@ -74,7 +79,7 @@ pub fn exact_chain(
     while let Some(state) = queue.pop_front() {
         match state {
             ExactState::Available { up } => {
-                let epoch_view = View::from_set(up);
+                let plan = plans.plan_for_set(rule, up);
                 for &v in &nodes {
                     if up.contains(v) {
                         // Failure of an epoch member: the instantaneous
@@ -82,7 +87,8 @@ pub fn exact_chain(
                         // write quorum over the old epoch.
                         let mut survivors = up;
                         survivors.remove(v);
-                        let next = if rule.is_write_quorum(&epoch_view, survivors) {
+                        let next = if plan.includes_quorum_with(rule, survivors, QuorumKind::Write)
+                        {
                             ExactState::Available { up: survivors }
                         } else {
                             ExactState::Blocked {
@@ -109,7 +115,7 @@ pub fn exact_chain(
                 }
             }
             ExactState::Blocked { epoch, up } => {
-                let epoch_view = View::from_set(epoch);
+                let plan = plans.plan_for_set(rule, epoch);
                 for &v in &nodes {
                     if up.contains(v) {
                         // Further failures keep the system blocked
@@ -127,9 +133,11 @@ pub fn exact_chain(
                     } else {
                         let mut grown = up;
                         grown.insert(v);
-                        let next = if rule
-                            .is_write_quorum(&epoch_view, grown.intersection(epoch))
-                        {
+                        let next = if plan.includes_quorum_with(
+                            rule,
+                            grown.intersection(epoch),
+                            QuorumKind::Write,
+                        ) {
                             // Epoch check succeeds and installs all up
                             // nodes as the new epoch.
                             ExactState::Available { up: grown }
@@ -169,12 +177,14 @@ pub fn exact_unavailability_kind(
 ) -> Result<f64, SolveError> {
     let chain = exact_chain(rule, n, lambda, mu);
     let pi = stationary(&chain)?;
+    let plans = RefCell::new(PlanCache::new());
     Ok(probability_of(&chain, &pi, |s| match (s, kind) {
         (ExactState::Available { .. }, _) => false,
         (ExactState::Blocked { .. }, QuorumKind::Write) => true,
         (ExactState::Blocked { epoch, up }, QuorumKind::Read) => {
-            let view = View::from_set(*epoch);
-            !rule.includes_quorum(&view, up.intersection(*epoch), QuorumKind::Read)
+            let mut plans = plans.borrow_mut();
+            let plan = plans.plan_for_set(rule, *epoch);
+            !plan.includes_quorum_with(rule, up.intersection(*epoch), QuorumKind::Read)
         }
     }))
 }
@@ -183,7 +193,7 @@ pub fn exact_unavailability_kind(
 mod tests {
     use super::*;
     use crate::dynamic::DynamicModel;
-    use coterie_quorum::{GridCoterie, MajorityCoterie, RowaCoterie};
+    use coterie_quorum::{GridCoterie, MajorityCoterie, RowaCoterie, View};
 
     #[test]
     fn exact_majority_matches_idealized_chain() {

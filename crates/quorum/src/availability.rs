@@ -20,27 +20,71 @@ pub fn exact_availability(rule: &dyn CoterieRule, view: &View, p: f64, kind: Quo
     let n = view.len();
     assert!(n <= 25, "exact enumeration is limited to 25 nodes");
     assert!((0.0..=1.0).contains(&p), "p must be a probability");
-    let members = view.members();
+    // Per-member bit positions, so an enumeration mask converts to the
+    // view's NodeSet encoding with one table lookup per set bit.
+    let bits: Vec<u128> = view
+        .members()
+        .iter()
+        .map(|m| 1u128 << m.index())
+        .collect();
     let q = 1.0 - p;
     // Precompute p^k q^(n-k) per popcount to avoid 2^N powf calls.
     let mut weight = vec![0.0f64; n + 1];
     for (k, w) in weight.iter_mut().enumerate() {
         *w = p.powi(k as i32) * q.powi((n - k) as i32);
     }
-    let mut avail = 0.0;
-    for mask in 0u32..(1u32 << n) {
-        let mut up = NodeSet::new();
-        let mut bits = mask;
-        while bits != 0 {
-            let i = bits.trailing_zeros() as usize;
-            bits &= bits - 1;
-            up.insert(members[i]);
+    // Compile the rule once: the 2^N-iteration loop then runs on pure
+    // bitmask evaluation (or the legacy predicate for uncompiled rules).
+    let plan = rule.compile(view);
+    let sum_range = |lo: u32, hi: u32| {
+        let mut avail = 0.0;
+        for mask in lo..hi {
+            let mut up = 0u128;
+            let mut rest = mask;
+            while rest != 0 {
+                let i = rest.trailing_zeros() as usize;
+                rest &= rest - 1;
+                up |= bits[i];
+            }
+            if plan.includes_quorum_with(rule, NodeSet(up), kind) {
+                avail += weight[mask.count_ones() as usize];
+            }
         }
-        if rule.includes_quorum(view, up, kind) {
-            avail += weight[mask.count_ones() as usize];
-        }
+        avail
+    };
+    let total = 1u32 << n;
+    let workers = sweep_workers(total as usize);
+    if workers <= 1 {
+        return sum_range(0, total);
     }
-    avail
+    // Partial sums are produced per contiguous chunk and added in chunk
+    // order, so the result is deterministic for a given worker count.
+    let chunk = total.div_ceil(workers as u32);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers as u32)
+            .map(|t| {
+                let lo = t * chunk;
+                let hi = (lo + chunk).min(total);
+                scope.spawn(move || sum_range(lo, hi))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    })
+}
+
+/// Number of worker threads for an embarrassingly parallel sweep of
+/// `iterations` steps: available parallelism, but never so many that a
+/// chunk becomes trivially small, and one (i.e. inline) for small sweeps
+/// where spawn overhead would dominate.
+fn sweep_workers(iterations: usize) -> usize {
+    const MIN_CHUNK: usize = 1 << 14;
+    if iterations < 2 * MIN_CHUNK {
+        return 1;
+    }
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    hw.min(iterations / MIN_CHUNK).max(1)
 }
 
 /// Closed-form write availability of a static grid of the given shape:
@@ -168,29 +212,58 @@ fn binomial(n: usize, k: usize) -> f64 {
 pub fn minimal_quorums(rule: &dyn CoterieRule, view: &View, kind: QuorumKind) -> Vec<NodeSet> {
     let n = view.len();
     assert!(n <= 20, "minimal quorum enumeration is limited to 20 nodes");
-    let members = view.members();
-    let mut quorums = Vec::new();
-    'outer: for mask in 1u32..(1u32 << n) {
-        let mut s = NodeSet::new();
-        let mut bits = mask;
-        while bits != 0 {
-            let i = bits.trailing_zeros() as usize;
-            bits &= bits - 1;
-            s.insert(members[i]);
-        }
-        if !rule.includes_quorum(view, s, kind) {
-            continue;
-        }
-        for node in s.iter() {
-            let mut reduced = s;
-            reduced.remove(node);
-            if rule.includes_quorum(view, reduced, kind) {
-                continue 'outer; // not minimal
+    let bits: Vec<u128> = view
+        .members()
+        .iter()
+        .map(|m| 1u128 << m.index())
+        .collect();
+    let plan = rule.compile(view);
+    let scan_range = |lo: u32, hi: u32| {
+        let mut quorums = Vec::new();
+        'outer: for mask in lo..hi {
+            let mut up = 0u128;
+            let mut rest = mask;
+            while rest != 0 {
+                let i = rest.trailing_zeros() as usize;
+                rest &= rest - 1;
+                up |= bits[i];
             }
+            let s = NodeSet(up);
+            if !plan.includes_quorum_with(rule, s, kind) {
+                continue;
+            }
+            for node in s.iter() {
+                let mut reduced = s;
+                reduced.remove(node);
+                if plan.includes_quorum_with(rule, reduced, kind) {
+                    continue 'outer; // not minimal
+                }
+            }
+            quorums.push(s);
         }
-        quorums.push(s);
+        quorums
+    };
+    let total = 1u32 << n;
+    let workers = sweep_workers(total as usize);
+    if workers <= 1 {
+        return scan_range(1, total);
     }
-    quorums
+    // Chunks are scanned in parallel but concatenated in chunk order, so
+    // the output keeps the sequential enumeration order.
+    let chunk = total.div_ceil(workers as u32);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers as u32)
+            .map(|t| {
+                let lo = (t * chunk).max(1);
+                let hi = (t * chunk + chunk).min(total);
+                scope.spawn(move || scan_range(lo, hi))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
+    })
 }
 
 #[cfg(test)]

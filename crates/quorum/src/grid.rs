@@ -6,6 +6,7 @@
 //! physical nodes".
 
 use crate::node::{NodeId, NodeSet, View};
+use crate::plan::QuorumPlan;
 use crate::rule::{CoterieRule, QuorumKind};
 use serde::{Deserialize, Serialize};
 
@@ -276,6 +277,17 @@ impl CoterieRule for GridCoterie {
                 (1..=shape.n).any(|j| col_count[j] == shape.column_height(j))
             }
         }
+    }
+
+    fn compile(&self, view: &View) -> QuorumPlan {
+        if view.is_empty() {
+            return QuorumPlan::never(view);
+        }
+        let shape = self.shape(view.len());
+        let columns = (1..=shape.n)
+            .map(|j| self.column_members(view, j).0)
+            .collect();
+        QuorumPlan::grid(view, columns)
     }
 
     fn pick_quorum(

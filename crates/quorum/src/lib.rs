@@ -44,6 +44,7 @@ pub mod availability;
 pub mod grid;
 pub mod majority;
 pub mod node;
+pub mod plan;
 pub mod rowa;
 pub mod rule;
 pub mod tree;
@@ -52,6 +53,7 @@ pub mod weighted;
 pub use grid::{GridCoterie, GridOrientation, GridShape};
 pub use majority::{MajorityCoterie, VotingCoterie, WriteSize};
 pub use node::{NodeId, NodeSet, View, MAX_NODES};
+pub use plan::{PlanCache, QuorumPlan};
 pub use rowa::RowaCoterie;
 pub use rule::{is_minimal_quorum, minimize_quorum, quorum_seed, CoterieRule, QuorumKind};
 pub use tree::TreeCoterie;

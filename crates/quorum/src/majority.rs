@@ -2,6 +2,7 @@
 //! general read/write threshold pairs with `r + w > N` and `2w > N`.
 
 use crate::node::{NodeSet, View};
+use crate::plan::QuorumPlan;
 use crate::rule::{CoterieRule, QuorumKind};
 
 /// How the write quorum size is derived from the view size `N`.
@@ -97,6 +98,14 @@ impl CoterieRule for VotingCoterie {
         }
         let present = s.intersection(view.set()).len();
         present >= self.quorum_size(view.len(), kind)
+    }
+
+    fn compile(&self, view: &View) -> QuorumPlan {
+        if view.is_empty() {
+            return QuorumPlan::never(view);
+        }
+        let n = view.len();
+        QuorumPlan::threshold(view, self.read_quorum_size(n), self.write_quorum_size(n))
     }
 
     fn pick_quorum(

@@ -5,6 +5,7 @@
 //! baseline for the load-sharing and availability experiments.
 
 use crate::node::{NodeSet, View};
+use crate::plan::QuorumPlan;
 use crate::rule::{CoterieRule, QuorumKind};
 
 /// The ROWA coterie: any single view member is a read quorum; the only write
@@ -33,6 +34,13 @@ impl CoterieRule for RowaCoterie {
             QuorumKind::Read => !present.is_empty(),
             QuorumKind::Write => view.set().is_subset_of(present),
         }
+    }
+
+    fn compile(&self, view: &View) -> QuorumPlan {
+        if view.is_empty() {
+            return QuorumPlan::never(view);
+        }
+        QuorumPlan::rowa(view)
     }
 
     fn pick_quorum(

@@ -8,6 +8,7 @@
 //! representing some quorum over V."
 
 use crate::node::{NodeId, NodeSet, View};
+use crate::plan::QuorumPlan;
 
 /// Which kind of quorum is being asked about.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
@@ -56,6 +57,26 @@ pub trait CoterieRule: Send + Sync + std::fmt::Debug {
         seed: u64,
         kind: QuorumKind,
     ) -> Option<NodeSet>;
+
+    /// Compiles this rule against a fixed view into a [`QuorumPlan`]: a
+    /// bitmask evaluator answering `coterie-rule(V, S)` for that view with
+    /// a few word operations and no allocation. Callers that test many
+    /// candidate sets against one view (response classification,
+    /// availability models, quorum enumeration) should compile once per
+    /// view and evaluate through the plan.
+    ///
+    /// The default implementation returns a fallback plan that retains the
+    /// view and answers through the legacy
+    /// [`includes_quorum`](CoterieRule::includes_quorum) predicate (via
+    /// [`QuorumPlan::includes_quorum_with`]), so every rule is compilable;
+    /// the shipped rules all override this with genuinely compiled forms.
+    ///
+    /// Implementations must be *observationally equivalent*: for every
+    /// `S` and kind, the plan's answer must equal
+    /// `self.includes_quorum(view, s, kind)`.
+    fn compile(&self, view: &View) -> QuorumPlan {
+        QuorumPlan::fallback(view)
+    }
 
     /// Convenience: `coterie-rule` restricted to read quorums.
     fn is_read_quorum(&self, view: &View, s: NodeSet) -> bool {

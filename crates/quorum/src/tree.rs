@@ -7,6 +7,7 @@
 //! ordered view, so the rule plugs directly into the dynamic epoch protocol.
 
 use crate::node::{NodeSet, View};
+use crate::plan::{QuorumPlan, TreeGroup};
 use crate::rule::{CoterieRule, QuorumKind};
 
 /// Hierarchical (tree) quorum coterie with a configurable branching factor.
@@ -76,6 +77,32 @@ impl TreeCoterie {
         out
     }
 
+    /// Flattens the hierarchy for positions `lo..hi` into `out` (children
+    /// before parents), returning the index of the group for this range.
+    fn flatten(&self, view: &View, lo: usize, hi: usize, out: &mut Vec<TreeGroup>) -> usize {
+        let len = hi - lo;
+        debug_assert!(len >= 1);
+        if len <= self.branching {
+            let mut mask = 0u128;
+            for i in lo..hi {
+                mask |= 1u128 << view.members()[i].index();
+            }
+            out.push(TreeGroup::Leaf {
+                mask,
+                need: (len / 2 + 1) as u32,
+            });
+        } else {
+            let children: Vec<usize> = self
+                .split(lo, hi)
+                .into_iter()
+                .map(|(clo, chi)| self.flatten(view, clo, chi, out))
+                .collect();
+            let need = (children.len() / 2 + 1) as u32;
+            out.push(TreeGroup::Inner { children, need });
+        }
+        out.len() - 1
+    }
+
     /// Greedily assembles a quorum from preferred nodes for positions
     /// `lo..hi`, returning the chosen set or `None` if impossible.
     fn build(
@@ -142,6 +169,15 @@ impl CoterieRule for TreeCoterie {
             return false;
         }
         self.check(view, s.intersection(view.set()), 0, view.len())
+    }
+
+    fn compile(&self, view: &View) -> QuorumPlan {
+        if view.is_empty() {
+            return QuorumPlan::never(view);
+        }
+        let mut groups = Vec::new();
+        self.flatten(view, 0, view.len(), &mut groups);
+        QuorumPlan::tree(view, groups)
     }
 
     fn pick_quorum(

@@ -3,6 +3,7 @@
 //! weight and a read quorum needs `total + 1 - w` votes.
 
 use crate::node::{NodeId, NodeSet, View};
+use crate::plan::QuorumPlan;
 use crate::rule::{CoterieRule, QuorumKind};
 
 /// A weighted voting coterie. Nodes without an explicit weight get
@@ -78,6 +79,24 @@ impl CoterieRule for WeightedCoterie {
             return false;
         }
         self.set_weight(view, s) >= self.threshold(view, kind)
+    }
+
+    fn compile(&self, view: &View) -> QuorumPlan {
+        if view.is_empty() || self.total_weight(view) == 0 {
+            return QuorumPlan::never(view);
+        }
+        let weights: Vec<(u128, u64)> = view
+            .members()
+            .iter()
+            .map(|&n| (1u128 << n.index(), self.weight(n)))
+            .filter(|&(_, w)| w > 0)
+            .collect();
+        QuorumPlan::weighted(
+            view,
+            weights,
+            self.threshold(view, QuorumKind::Read),
+            self.threshold(view, QuorumKind::Write),
+        )
     }
 
     fn pick_quorum(

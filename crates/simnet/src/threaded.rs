@@ -62,7 +62,10 @@ impl<A: Application> Ord for Pending<A> {
 
 struct TimerService<A: Application> {
     heap: Mutex<BinaryHeap<Pending<A>>>,
-    canceled: Mutex<HashSet<TimerId>>,
+    /// Canceled timers, keyed by `(node, id)`: unlike the simulator, timer
+    /// ids here are allocated per node thread, so the bare id is not unique
+    /// across nodes.
+    canceled: Mutex<HashSet<(NodeId, TimerId)>>,
     wake: Condvar,
     stopping: AtomicBool,
 }
@@ -150,7 +153,7 @@ where
                 Some(at) if at <= now => {
                     let p = heap.pop().expect("peeked");
                     drop(heap);
-                    let canceled = timer_shared.timers.canceled.lock().remove(&p.id);
+                    let canceled = timer_shared.timers.canceled.lock().remove(&(p.node, p.id));
                     if !canceled {
                         timer_shared.send_input(
                             p.node,
@@ -375,7 +378,7 @@ fn run_callback<A: Application + 'static>(
                 shared.timers.wake.notify_all();
             }
             Effect::CancelTimer { id } => {
-                shared.timers.canceled.lock().insert(id);
+                shared.timers.canceled.lock().insert((me, id));
             }
             Effect::Output(out) => {
                 let _ = out_tx.send((me, out));

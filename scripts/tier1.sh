@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything a PR must keep green, in one command.
+# Usage: scripts/tier1.sh   (run from anywhere inside the repo)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test -q"
+cargo test -q --workspace
+
+echo "==> cargo bench --no-run"
+cargo bench --no-run --workspace
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "tier-1: all green"

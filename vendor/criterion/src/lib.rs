@@ -1,0 +1,243 @@
+//! Minimal offline stand-in for `criterion`.
+//!
+//! Benchmarks register through the usual `criterion_group!` /
+//! `criterion_main!` macros and are timed with `std::time::Instant`:
+//! each benchmark is calibrated to a target sample duration, then timed
+//! over `sample_size` samples, and the per-iteration mean is printed.
+//! Setting `CRITERION_DUMP_JSON=<path>` appends one JSON line per result
+//! to `<path>` so scripts can collect machine-readable numbers.
+
+pub use std::hint::black_box;
+
+use std::fmt::Display;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+
+/// One completed measurement.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Full benchmark path (`group/function/parameter`).
+    pub name: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub mean_ns: f64,
+}
+
+/// Identifier for a parameterized benchmark.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    fn render(&self) -> String {
+        if self.parameter.is_empty() {
+            self.function.clone()
+        } else {
+            format!("{}/{}", self.function, self.parameter)
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            function: s.to_string(),
+            parameter: String::new(),
+        }
+    }
+}
+
+/// Runs the timed routine for one benchmark.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it enough times to fill the sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Top-level benchmark driver (stand-in for `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 12 }
+    }
+}
+
+/// Target wall-clock time for one calibrated sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(2);
+
+fn measure(name: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    // Calibrate: grow the iteration count until one sample is long enough
+    // for Instant's resolution to be negligible.
+    let mut iters: u64 = 1;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= SAMPLE_TARGET || iters >= 1 << 30 {
+            break;
+        }
+        // Aim directly for the target based on the observed rate.
+        let per_iter = b.elapsed.as_secs_f64() / iters as f64;
+        let want = if per_iter > 0.0 {
+            (SAMPLE_TARGET.as_secs_f64() / per_iter * 1.2) as u64
+        } else {
+            iters * 8
+        };
+        iters = want.clamp(iters + 1, iters * 8);
+    }
+    let mut total = Duration::ZERO;
+    let mut total_iters: u64 = 0;
+    for _ in 0..samples.max(1) {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        total += b.elapsed;
+        total_iters += b.iters;
+    }
+    let mean_ns = total.as_nanos() as f64 / total_iters.max(1) as f64;
+    println!("{name:<55} time: [{mean_ns:>12.1} ns/iter]");
+    RESULTS.lock().expect("results lock").push(BenchResult {
+        name: name.to_string(),
+        mean_ns,
+    });
+}
+
+impl Criterion {
+    /// Benchmarks a single function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        measure(name, self.sample_size, &mut f);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 12,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.name, id.into().render());
+        measure(&name, self.sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks a function within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id.into().render());
+        measure(&name, self.sample_size, &mut f);
+        self
+    }
+
+    /// Finishes the group (reporting happens eagerly; kept for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// Appends accumulated results as JSON lines to `$CRITERION_DUMP_JSON`,
+/// when set. Called by `criterion_main!` after all groups run.
+pub fn dump_results() {
+    let Ok(path) = std::env::var("CRITERION_DUMP_JSON") else {
+        return;
+    };
+    use std::io::Write;
+    let results = RESULTS.lock().expect("results lock");
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .expect("open CRITERION_DUMP_JSON path");
+    for r in results.iter() {
+        writeln!(
+            file,
+            "{{\"name\": \"{}\", \"mean_ns\": {:.1}}}",
+            r.name, r.mean_ns
+        )
+        .expect("write bench result");
+    }
+}
+
+/// Declares a benchmark group function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)*
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)*
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)*
+            $crate::dump_results();
+        }
+    };
+}

@@ -1,0 +1,20 @@
+//! Minimal offline stand-in for the `crossbeam` crate: only the unbounded
+//! MPSC channel surface this workspace uses, backed by `std::sync::mpsc`.
+
+/// Multi-producer channels.
+pub mod channel {
+    use std::sync::mpsc;
+
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    /// Sending half of an unbounded channel.
+    pub type Sender<T> = mpsc::Sender<T>;
+
+    /// Receiving half of an unbounded channel.
+    pub type Receiver<T> = mpsc::Receiver<T>;
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        mpsc::channel()
+    }
+}

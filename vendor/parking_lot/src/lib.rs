@@ -1,0 +1,178 @@
+//! Minimal offline stand-in for `parking_lot`, implementing the
+//! poison-free `Mutex`/`Condvar` surface this workspace uses on top of
+//! `std::sync`. Guards can be handed to [`Condvar::wait`] by mutable
+//! reference (parking_lot style) rather than by value (std style).
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync;
+use std::time::Instant;
+
+/// A mutex that never poisons: a panicked holder simply releases the lock.
+#[derive(Default)]
+pub struct Mutex<T> {
+    inner: sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a mutex guarding `value`.
+    pub fn new(value: T) -> Self {
+        Mutex {
+            inner: sync::Mutex::new(value),
+        }
+    }
+
+    /// Acquires the lock, returning the guard directly.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard {
+            guard: Some(lock_ignore_poison(&self.inner)),
+        }
+    }
+
+    /// Consumes the mutex, returning the guarded value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Mutex").finish_non_exhaustive()
+    }
+}
+
+fn lock_ignore_poison<T>(m: &sync::Mutex<T>) -> sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(sync::PoisonError::into_inner)
+}
+
+/// RAII guard returned by [`Mutex::lock`].
+///
+/// The inner std guard lives in an `Option` so [`Condvar`] can take it,
+/// block on the std condvar, and put the reacquired guard back — giving
+/// parking_lot's `wait(&mut guard)` signature.
+pub struct MutexGuard<'a, T> {
+    guard: Option<sync::MutexGuard<'a, T>>,
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.guard.as_ref().expect("guard present")
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.guard.as_mut().expect("guard present")
+    }
+}
+
+/// Result of a timed wait: reports whether the wait timed out.
+#[derive(Clone, Copy, Debug)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// True when the wait returned because the timeout elapsed.
+    pub fn timed_out(self) -> bool {
+        self.0
+    }
+}
+
+/// A condition variable usable with [`MutexGuard`]s by mutable reference.
+#[derive(Default)]
+pub struct Condvar {
+    inner: sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a condition variable.
+    pub fn new() -> Self {
+        Condvar {
+            inner: sync::Condvar::new(),
+        }
+    }
+
+    /// Blocks until notified, releasing the guard while waiting.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let inner = guard.guard.take().expect("guard present");
+        let reacquired = self
+            .inner
+            .wait(inner)
+            .unwrap_or_else(sync::PoisonError::into_inner);
+        guard.guard = Some(reacquired);
+    }
+
+    /// Blocks until notified or `deadline` passes.
+    pub fn wait_until<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        deadline: Instant,
+    ) -> WaitTimeoutResult {
+        let timeout = deadline.saturating_duration_since(Instant::now());
+        let inner = guard.guard.take().expect("guard present");
+        let (reacquired, result) = match self.inner.wait_timeout(inner, timeout) {
+            Ok((g, r)) => (g, r),
+            Err(e) => {
+                let (g, r) = e.into_inner();
+                (g, r)
+            }
+        };
+        guard.guard = Some(reacquired);
+        WaitTimeoutResult(result.timed_out())
+    }
+
+    /// Wakes all waiting threads.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+
+    /// Wakes one waiting thread.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Condvar").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn lock_and_wait_until() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let r = cv.wait_until(&mut g, Instant::now() + Duration::from_millis(10));
+        assert!(r.timed_out());
+        assert_eq!(*g, 2);
+    }
+
+    #[test]
+    fn notify_wakes_waiter() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let h = std::thread::spawn(move || {
+            let (m, cv) = &*p2;
+            let mut ready = m.lock();
+            while !*ready {
+                cv.wait(&mut ready);
+            }
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        let (m, cv) = &*pair;
+        *m.lock() = true;
+        cv.notify_all();
+        h.join().unwrap();
+    }
+}

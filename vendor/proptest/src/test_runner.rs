@@ -1,0 +1,30 @@
+//! Deterministic case runner for the proptest stand-in.
+
+use crate::TestRng;
+use rand::SeedableRng;
+
+/// Generates cases for one property test.
+#[derive(Debug)]
+pub struct TestRunner {
+    rng: TestRng,
+}
+
+impl TestRunner {
+    /// Builds a runner whose RNG is seeded from `name` (FNV-1a), so every
+    /// run of the same test sees the same case sequence.
+    pub fn deterministic(name: &str) -> Self {
+        let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            seed ^= u64::from(b);
+            seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRunner {
+            rng: TestRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The case RNG.
+    pub fn rng(&mut self) -> &mut TestRng {
+        &mut self.rng
+    }
+}

@@ -1,0 +1,190 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! offline serde stand-in. Parses struct definitions directly from the
+//! token stream (no syn/quote) — named-field structs and tuple structs,
+//! with `#[serde(skip)]` support. Enums and generics are not needed by
+//! this workspace and are rejected with a clear error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct StructDef {
+    name: String,
+    body: Body,
+}
+
+enum Body {
+    /// Named fields in declaration order, minus skipped ones.
+    Named(Vec<String>),
+    /// Number of fields in a tuple struct.
+    Tuple(usize),
+    /// A unit struct.
+    Unit,
+}
+
+/// Derives the stand-in `serde::Serialize` for a struct.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let def = parse_struct(input);
+    let body = match &def.body {
+        Body::Named(fields) => {
+            let mut pushes = String::new();
+            for f in fields {
+                pushes.push_str(&format!(
+                    "fields.push((\"{f}\".to_string(), \
+                     ::serde::Serialize::serialize_value(&self.{f})));\n"
+                ));
+            }
+            format!(
+                "let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n{pushes}::serde::Value::Object(fields)"
+            )
+        }
+        Body::Tuple(1) => "::serde::Serialize::serialize_value(&self.0)".to_string(),
+        Body::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Body::Unit => "::serde::Value::Null".to_string(),
+    };
+    format!(
+        "impl ::serde::Serialize for {} {{\n\
+         fn serialize_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}",
+        def.name
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Derives the stand-in `serde::Deserialize` marker for a struct.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let def = parse_struct(input);
+    format!("impl ::serde::Deserialize for {} {{}}", def.name)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+fn parse_struct(input: TokenStream) -> StructDef {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Ident(id) if id.to_string() == "enum" => {
+                panic!("the serde stand-in derive supports structs only");
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                let TokenTree::Ident(name) = &tokens[i + 1] else {
+                    panic!("expected struct name");
+                };
+                for t in &tokens[i + 2..] {
+                    match t {
+                        TokenTree::Punct(p) if p.as_char() == '<' => {
+                            panic!("the serde stand-in derive does not support generics");
+                        }
+                        TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                            return StructDef {
+                                name: name.to_string(),
+                                body: Body::Named(named_fields(g.stream())),
+                            };
+                        }
+                        TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                            return StructDef {
+                                name: name.to_string(),
+                                body: Body::Tuple(count_tuple_fields(g.stream())),
+                            };
+                        }
+                        _ => {}
+                    }
+                }
+                return StructDef {
+                    name: name.to_string(),
+                    body: Body::Unit,
+                };
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    panic!("derive input is not a struct");
+}
+
+/// Extracts non-skipped field names from a named-field body. A field is an
+/// identifier directly followed by `:`; its type is skipped through the
+/// next comma at zero `<...>` depth.
+fn named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut skip = false;
+    let mut toks = stream.into_iter().peekable();
+    while let Some(t) = toks.next() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = toks.peek() {
+                    let attr = g.stream().to_string();
+                    if attr.starts_with("serde") && attr.contains("skip") {
+                        skip = true;
+                    }
+                    toks.next();
+                }
+            }
+            TokenTree::Ident(id) => {
+                let word = id.to_string();
+                if word == "pub" {
+                    continue;
+                }
+                let is_field =
+                    matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ':');
+                if !is_field {
+                    continue;
+                }
+                toks.next(); // the ':'
+                if !skip {
+                    fields.push(word);
+                }
+                skip = false;
+                let mut angle = 0i64;
+                for tt in toks.by_ref() {
+                    match tt {
+                        TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                        TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                        _ => {}
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    fields
+}
+
+/// Counts tuple-struct fields: top-level commas at zero `<...>` depth.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut angle = 0i64;
+    let mut count = 0usize;
+    let mut saw_any = false;
+    let mut trailing_comma = false;
+    for t in stream {
+        saw_any = true;
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle += 1;
+                trailing_comma = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle -= 1;
+                trailing_comma = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                count += 1;
+                trailing_comma = true;
+            }
+            _ => trailing_comma = false,
+        }
+    }
+    match (saw_any, trailing_comma) {
+        (false, _) => 0,
+        (true, true) => count,
+        (true, false) => count + 1,
+    }
+}

@@ -1,0 +1,154 @@
+//! Minimal offline stand-in for `serde_json`: renders the serde stand-in's
+//! [`serde::Value`] tree as JSON text (compact or pretty, two-space
+//! indent, matching upstream's layout).
+
+use serde::{Serialize, Value};
+use std::fmt;
+
+/// Serialization error. The value-tree model cannot actually fail, but the
+/// signature mirrors upstream so call sites keep their `Result` handling.
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias mirroring `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Renders `value` as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.serialize_value(), None, 0);
+    Ok(out)
+}
+
+/// Renders `value` as pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.serialize_value(), Some(2), 0);
+    Ok(out)
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::UInt(n) => out.push_str(&n.to_string()),
+        Value::Int(n) => out.push_str(&n.to_string()),
+        Value::Float(x) => write_float(out, *x),
+        Value::Str(s) => write_string(out, s),
+        Value::Array(items) => write_seq(out, items.iter(), indent, depth, '[', ']', |o, it, d| {
+            write_value(o, it, indent, d)
+        }),
+        Value::Object(entries) => {
+            write_seq(out, entries.iter(), indent, depth, '{', '}', |o, (k, it), d| {
+                write_string(o, k);
+                o.push(':');
+                if indent.is_some() {
+                    o.push(' ');
+                }
+                write_value(o, it, indent, d);
+            })
+        }
+    }
+}
+
+fn write_seq<I: ExactSizeIterator>(
+    out: &mut String,
+    items: I,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    mut write_item: impl FnMut(&mut String, I::Item, usize),
+) {
+    out.push(open);
+    let n = items.len();
+    for (i, item) in items.enumerate() {
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * (depth + 1)));
+        }
+        write_item(out, item, depth + 1);
+        if i + 1 < n {
+            out.push(',');
+        }
+    }
+    if n > 0 {
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * depth));
+        }
+    }
+    out.push(close);
+}
+
+fn write_float(out: &mut String, x: f64) {
+    if x.is_finite() {
+        let s = format!("{x}");
+        out.push_str(&s);
+        // JSON numbers need a decimal point or exponent to read back as
+        // floats; Rust's `{}` prints e.g. `1` for 1.0_f64.
+        if !s.contains(['.', 'e', 'E']) {
+            out.push_str(".0");
+        }
+    } else {
+        // Upstream serde_json emits null for non-finite floats.
+        out.push_str("null");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_scalars_and_nesting() {
+        let v = Value::Object(vec![
+            ("n".to_string(), Value::UInt(5)),
+            ("x".to_string(), Value::Float(1.0)),
+            ("s".to_string(), Value::Str("a\"b".to_string())),
+            (
+                "arr".to_string(),
+                Value::Array(vec![Value::Null, Value::Bool(true)]),
+            ),
+        ]);
+        struct Raw(Value);
+        impl Serialize for Raw {
+            fn serialize_value(&self) -> Value {
+                self.0.clone()
+            }
+        }
+        let pretty = to_string_pretty(&Raw(v.clone())).unwrap();
+        assert!(pretty.contains("\"n\": 5"));
+        assert!(pretty.contains("\"x\": 1.0"));
+        assert!(pretty.contains("\"s\": \"a\\\"b\""));
+        let compact = to_string(&Raw(v)).unwrap();
+        assert_eq!(
+            compact,
+            "{\"n\":5,\"x\":1.0,\"s\":\"a\\\"b\",\"arr\":[null,true]}"
+        );
+    }
+}
