@@ -4,8 +4,7 @@
 
 use coterie_quorum::availability::exact_availability;
 use coterie_quorum::{
-    CoterieRule, GridCoterie, MajorityCoterie, NodeSet, QuorumKind, RowaCoterie, TreeCoterie,
-    View,
+    CoterieRule, GridCoterie, MajorityCoterie, NodeSet, QuorumKind, RowaCoterie, TreeCoterie, View,
 };
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -71,15 +70,9 @@ fn bench_quorum_eval(c: &mut Criterion) {
         let s = NodeSet::first_n(n * 2 / 3 + 1);
         for (name, rule) in rules() {
             let plan = rule.compile(&view);
-            group.bench_with_input(
-                BenchmarkId::new(format!("legacy/{name}"), n),
-                &n,
-                |b, _| {
-                    b.iter(|| {
-                        black_box(rule.includes_quorum(&view, black_box(s), QuorumKind::Write))
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(format!("legacy/{name}"), n), &n, |b, _| {
+                b.iter(|| black_box(rule.includes_quorum(&view, black_box(s), QuorumKind::Write)))
+            });
             group.bench_with_input(
                 BenchmarkId::new(format!("compiled/{name}"), n),
                 &n,

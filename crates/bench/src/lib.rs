@@ -1,5 +1,3 @@
-#![warn(missing_docs)]
-
 //! # coterie-bench
 //!
 //! Shared fixtures for the Criterion benchmarks. The benches are organized

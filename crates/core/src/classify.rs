@@ -109,7 +109,14 @@ mod tests {
     use super::*;
     use coterie_quorum::MajorityCoterie;
 
-    fn resp(node: u32, version: u64, stale: bool, dversion: u64, enumber: u64, elist: &[u32]) -> (NodeId, StateTuple) {
+    fn resp(
+        node: u32,
+        version: u64,
+        stale: bool,
+        dversion: u64,
+        enumber: u64,
+        elist: &[u32],
+    ) -> (NodeId, StateTuple) {
         (
             NodeId(node),
             StateTuple {

@@ -1,8 +1,8 @@
 //! Protocol configuration.
 
 use crate::election::InitiatorPolicy;
+use coterie_base::SimDuration;
 use coterie_quorum::CoterieRule;
-use coterie_simnet::SimDuration;
 use std::sync::Arc;
 
 /// Whether epochs adjust dynamically (the paper's contribution) or stay
@@ -88,8 +88,12 @@ pub struct ProtocolConfig {
     /// simultaneous node failures less than the safety threshold". Zero
     /// disables the mechanism.
     pub safety_threshold: usize,
-    /// How the epoch-check initiator is chosen (§4.3 / [7]).
+    /// How the epoch-check initiator is chosen (§4.3 / \[7\]).
     pub initiator: InitiatorPolicy,
+    /// Seed for the engine-owned deterministic RNG. Each node derives its
+    /// stream as `seed ^ node_id`, so a cluster built from one config is
+    /// fully determined by `(seed, input schedule)`.
+    pub seed: u64,
 }
 
 impl std::fmt::Debug for ProtocolConfig {
@@ -129,7 +133,14 @@ impl ProtocolConfig {
             lock_propagation: false,
             safety_threshold: 2,
             initiator: InitiatorPolicy::RankStagger,
+            seed: 0,
         }
+    }
+
+    /// Sets the engine RNG seed.
+    pub fn rng_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
     }
 
     /// Switches to the static (conventional) protocol.
@@ -176,7 +187,7 @@ impl ProtocolConfig {
         self
     }
 
-    /// Uses the bully election [7] to choose the epoch-check initiator.
+    /// Uses the bully election \[7\] to choose the epoch-check initiator.
     pub fn bully_election(mut self) -> Self {
         self.initiator = InitiatorPolicy::Bully;
         self

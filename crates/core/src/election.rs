@@ -2,7 +2,7 @@
 //!
 //! §4.3: "A simple solution is to elect a site responsible for initiating
 //! all epoch checkings. A new election would be started by any node
-//! noticing that epoch checking has not run for a while. (See [7] for
+//! noticing that epoch checking has not run for a while. (See \[7\] for
 //! election protocols.)"
 //!
 //! Two policies are provided:
@@ -11,7 +11,7 @@
 //!   ticks with a period proportional to its rank in its epoch list and
 //!   initiates only when no recent check was observed. The lowest live
 //!   member wins in steady state; successors take over by timeout.
-//! * [`InitiatorPolicy::Bully`] — Garcia-Molina's bully algorithm [7]: a
+//! * [`InitiatorPolicy::Bully`] — Garcia-Molina's bully algorithm \[7\]: a
 //!   node that notices epoch-check silence challenges all higher-named
 //!   nodes; if none answers it declares itself coordinator and runs the
 //!   periodic checks; any `Alive` answer defers to the higher node. The
@@ -21,8 +21,8 @@
 use crate::config::Mode;
 use crate::msg::{Msg, OpId};
 use crate::node::{NodeCtx, ReplicaNode, Timer};
+use coterie_base::TimerId;
 use coterie_quorum::NodeId;
-use coterie_simnet::TimerId;
 
 /// How the epoch-check initiator is chosen.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -30,12 +30,12 @@ pub enum InitiatorPolicy {
     /// Election-free rank-staggered ticks (documented substitution).
     #[default]
     RankStagger,
-    /// Garcia-Molina's bully election [7].
+    /// Garcia-Molina's bully election \[7\].
     Bully,
 }
 
 /// Volatile bully-election state.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct ElectionState {
     /// Who we currently believe coordinates epoch checks.
     pub leader: Option<NodeId>,
@@ -45,7 +45,7 @@ pub struct ElectionState {
 }
 
 /// One outstanding challenge round.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct ElectionRound {
     /// Round identifier (an op id for uniqueness).
     pub round: OpId,

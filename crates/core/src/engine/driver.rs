@@ -1,0 +1,387 @@
+//! A substrate-free harness for the engine: hold a whole cluster's worth
+//! of [`ReplicaNode`]s plus their in-flight messages and armed timers, and
+//! let the caller decide *which* pending event happens next.
+//!
+//! This is the building block for schedule exploration: because the driver
+//! is `Clone`, an explorer can fork the cluster at any point and try every
+//! enabled event from the same state. It also journals every
+//! [`Effect::Persist`] into a per-node [`MemJournal`], so crash-replay
+//! tests can compare reconstructed durable state against the live engine.
+
+use std::fmt::Write as _;
+
+use coterie_base::{SimDuration, SimTime, TimerId};
+use coterie_quorum::NodeId;
+
+use crate::config::ProtocolConfig;
+use crate::msg::{ClientRequest, Msg, ProtocolEvent};
+use crate::node::{Durable, ReplicaNode, Timer};
+
+use super::io::{Effect, Input};
+use super::storage::{MemJournal, StableStorage};
+
+/// An in-flight protocol message.
+#[derive(Clone, Debug)]
+pub struct Envelope {
+    /// Sender.
+    pub from: NodeId,
+    /// Destination.
+    pub to: NodeId,
+    /// The message.
+    pub msg: Msg,
+}
+
+/// An armed (not yet fired) timer.
+#[derive(Clone, Debug)]
+pub struct PendingTimer {
+    /// Owning node.
+    pub node: NodeId,
+    /// Node-unique id (cancellation key).
+    pub id: TimerId,
+    /// Nominal expiry time.
+    pub fire_at: SimTime,
+    /// Payload.
+    pub timer: Timer,
+}
+
+/// One schedulable event, as chosen by an explorer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DriverEvent {
+    /// Deliver the `i`-th pending message.
+    Deliver(usize),
+    /// Fire the `i`-th pending timer.
+    Fire(usize),
+    /// Fail-stop a node.
+    Crash(NodeId),
+    /// Restart a crashed node.
+    Recover(NodeId),
+}
+
+/// A cluster of engines plus the pending-event pools they feed on.
+#[derive(Clone, Debug)]
+pub struct StepDriver {
+    config: ProtocolConfig,
+    nodes: Vec<ReplicaNode>,
+    down: Vec<bool>,
+    now: SimTime,
+    messages: Vec<Envelope>,
+    timers: Vec<PendingTimer>,
+    outputs: Vec<(SimTime, NodeId, ProtocolEvent)>,
+    journals: Vec<MemJournal>,
+}
+
+impl StepDriver {
+    /// Builds and boots an `n`-node cluster.
+    pub fn new(n: usize, config: ProtocolConfig) -> Self {
+        let mut driver = StepDriver {
+            nodes: (0..n as u32)
+                .map(|id| ReplicaNode::new(NodeId(id), config.clone()))
+                .collect(),
+            config,
+            down: vec![false; n],
+            now: SimTime::ZERO,
+            messages: Vec::new(),
+            timers: Vec::new(),
+            outputs: Vec::new(),
+            journals: vec![MemJournal::new(); n],
+        };
+        for id in 0..n as u32 {
+            driver.step_node(NodeId(id), Input::Boot);
+        }
+        driver
+    }
+
+    /// Current driver time (advances only when timers fire or the caller
+    /// calls [`advance`](StepDriver::advance)).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Moves time forward without firing anything.
+    pub fn advance(&mut self, d: SimDuration) {
+        self.now += d;
+    }
+
+    /// Submits a client request at `node`.
+    pub fn inject(&mut self, node: NodeId, request: ClientRequest) {
+        assert!(!self.down[node.0 as usize], "cannot inject at a down node");
+        self.step_node(node, Input::External(request));
+    }
+
+    /// The in-flight messages, in send order.
+    pub fn pending_messages(&self) -> &[Envelope] {
+        &self.messages
+    }
+
+    /// The armed timers, in arming order.
+    pub fn pending_timers(&self) -> &[PendingTimer] {
+        &self.timers
+    }
+
+    /// Number of replicas in the cluster.
+    pub fn cluster_size(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if `node` is currently crashed.
+    pub fn is_down(&self, node: NodeId) -> bool {
+        self.down[node.0 as usize]
+    }
+
+    /// Read access to a node's engine.
+    pub fn node(&self, node: NodeId) -> &ReplicaNode {
+        &self.nodes[node.0 as usize]
+    }
+
+    /// Protocol events emitted so far, in emission order.
+    pub fn outputs(&self) -> &[(SimTime, NodeId, ProtocolEvent)] {
+        &self.outputs
+    }
+
+    /// The per-node journal of persisted deltas.
+    pub fn journal(&self, node: NodeId) -> &MemJournal {
+        &self.journals[node.0 as usize]
+    }
+
+    /// Reconstructs `node`'s durable state purely from its journal.
+    pub fn replay_journal(&self, node: NodeId) -> Durable {
+        self.journals[node.0 as usize].replay(&self.config)
+    }
+
+    /// Delivers the `i`-th pending message. If the destination is down the
+    /// message bounces as a `CallFailed` to its sender (the fail-stop
+    /// notification of the paper's model); if the sender is down too, the
+    /// bounce is dropped.
+    ///
+    /// Each delivery advances time by 1 µs, so completion timestamps
+    /// strictly follow the injection timestamps of the requests that caused
+    /// them (the real-time order the 1SR checker's recency rule relies on).
+    pub fn deliver(&mut self, i: usize) {
+        self.now += SimDuration::from_micros(1);
+        let env = self.messages.remove(i);
+        if self.down[env.to.0 as usize] {
+            if !self.down[env.from.0 as usize] {
+                self.step_node(
+                    env.from,
+                    Input::CallFailed {
+                        to: env.to,
+                        msg: env.msg,
+                    },
+                );
+            }
+        } else {
+            self.step_node(
+                env.to,
+                Input::Deliver {
+                    from: env.from,
+                    msg: env.msg,
+                },
+            );
+        }
+    }
+
+    /// Fires the `i`-th pending timer, advancing time to its nominal expiry
+    /// if that lies in the future.
+    pub fn fire(&mut self, i: usize) {
+        let t = self.timers.remove(i);
+        debug_assert!(!self.down[t.node.0 as usize], "down nodes hold no timers");
+        self.now = self.now.max(t.fire_at);
+        self.step_node(t.node, Input::TimerFired(t.timer));
+    }
+
+    /// Fail-stops `node`: volatile state and armed timers are lost; in-flight
+    /// messages to it will bounce on delivery.
+    pub fn crash(&mut self, node: NodeId) {
+        assert!(!self.down[node.0 as usize], "node already down");
+        self.down[node.0 as usize] = true;
+        self.timers.retain(|t| t.node != node);
+        self.step_node(node, Input::Crash);
+    }
+
+    /// Restarts a crashed node (durable state intact).
+    pub fn recover(&mut self, node: NodeId) {
+        assert!(self.down[node.0 as usize], "node not down");
+        self.down[node.0 as usize] = false;
+        self.step_node(node, Input::Boot);
+    }
+
+    /// Runs a fixed, deterministic schedule for `d` of driver time: pending
+    /// messages deliver immediately in send order; when none are pending,
+    /// the earliest timer due within the window fires (ties broken by node
+    /// then id). Returns once no message is in flight and no timer is due.
+    ///
+    /// This is the "zero-latency network, well-behaved clocks" schedule —
+    /// useful as a baseline; the interleaving explorer exists precisely to
+    /// try all the *other* schedules.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let deadline = self.now + d;
+        loop {
+            if !self.messages.is_empty() {
+                self.deliver(0);
+                continue;
+            }
+            let next = self
+                .timers
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, t)| (t.fire_at, t.node.0, t.id.0))
+                .map(|(i, t)| (i, t.fire_at));
+            match next {
+                Some((i, at)) if at <= deadline => self.fire(i),
+                _ => break,
+            }
+        }
+        self.now = deadline;
+    }
+
+    /// Applies one schedulable event.
+    pub fn perform(&mut self, event: DriverEvent) {
+        match event {
+            DriverEvent::Deliver(i) => self.deliver(i),
+            DriverEvent::Fire(i) => self.fire(i),
+            DriverEvent::Crash(n) => self.crash(n),
+            DriverEvent::Recover(n) => self.recover(n),
+        }
+    }
+
+    fn step_node(&mut self, node: NodeId, input: Input) {
+        let effects = self.nodes[node.0 as usize].step(self.now, input);
+        for effect in effects {
+            match effect {
+                Effect::Send { to, msg } => self.messages.push(Envelope {
+                    from: node,
+                    to,
+                    msg,
+                }),
+                Effect::SetTimer { id, delay, timer } => self.timers.push(PendingTimer {
+                    node,
+                    id,
+                    fire_at: self.now + delay,
+                    timer,
+                }),
+                Effect::CancelTimer(id) => {
+                    self.timers.retain(|t| !(t.node == node && t.id == id));
+                }
+                Effect::Persist(delta) => self.journals[node.0 as usize].append(&delta),
+                Effect::Output(ev) => self.outputs.push((self.now, node, ev)),
+            }
+        }
+    }
+
+    /// A deterministic digest of the cluster's logical state: engine states,
+    /// liveness flags, the pending message/timer pools (order-insensitive,
+    /// expiry-time-blind), and the output history. Two drivers with equal
+    /// digests behave identically under equal future schedules, so an
+    /// explorer can prune revisits.
+    pub fn state_digest(&self) -> u64 {
+        let mut repr = String::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            let _ = write!(repr, "n{i};down={};", self.down[i]);
+            canonical_node(&mut repr, node);
+        }
+        let mut msgs: Vec<String> = self
+            .messages
+            .iter()
+            .map(|e| format!("{}>{}:{:?}", e.from.0, e.to.0, e.msg))
+            .collect();
+        msgs.sort_unstable();
+        let mut tmrs: Vec<String> = self
+            .timers
+            .iter()
+            .map(|t| format!("{}#{}:{:?}", t.node.0, t.id.0, t.timer))
+            .collect();
+        tmrs.sort_unstable();
+        for s in msgs.iter().chain(tmrs.iter()) {
+            repr.push_str(s);
+            repr.push('\n');
+        }
+        let _ = write!(repr, "outs={}", self.outputs.len());
+        for (_, n, e) in &self.outputs {
+            let _ = write!(repr, ";{}:{e:?}", n.0);
+        }
+        fnv1a(repr.as_bytes())
+    }
+}
+
+/// Writes a canonical (iteration-order-independent) textual form of one
+/// engine's full state into `out`.
+fn canonical_node(out: &mut String, node: &ReplicaNode) {
+    let d = &node.durable;
+    let _ = write!(
+        out,
+        "v={},st={},dv={},e={},el={:?},obj={:x},log=({},{}),prep={:?},opc={},lg={:?};",
+        d.version,
+        d.stale,
+        d.dversion,
+        d.enumber,
+        d.elist,
+        d.object.digest(),
+        d.log.len(),
+        d.log.newest_version(),
+        d.prepared,
+        d.op_counter,
+        d.last_good,
+    );
+    let mut decisions: Vec<_> = d.decisions.iter().map(|(op, c)| (*op, *c)).collect();
+    decisions.sort_unstable_by_key(|(op, _)| *op);
+    let _ = write!(out, "dec={decisions:?};");
+
+    let v = &node.vol;
+    let _ = write!(out, "lock={:?},", v.lock.exclusive_holder());
+    let mut shared: Vec<_> = v.lock.shared_holders().collect();
+    shared.sort_unstable();
+    let _ = write!(out, "shared={shared:?};");
+    let mut leases: Vec<_> = v.lock_leases.iter().map(|(op, id)| (*op, id.0)).collect();
+    leases.sort_unstable();
+    let _ = write!(out, "leases={leases:?};");
+    sorted_map(out, "writes", &v.writes);
+    sorted_map(out, "reads", &v.reads);
+    sorted_map(out, "epochs", &v.epochs);
+    let mut attempts: Vec<_> = v
+        .propagator
+        .attempts
+        .iter()
+        .map(|(n, a)| (*n, *a))
+        .collect();
+    attempts.sort_unstable();
+    let _ = write!(
+        out,
+        "prop=({:?},{:?},{attempts:?},{});inc={:?};pep={:?};",
+        v.propagator.remaining,
+        v.propagator.in_flight,
+        v.propagator.kick_armed,
+        v.incoming_prop,
+        v.pending_epoch_prepare,
+    );
+    let mut retry: Vec<_> = v.decision_retry_armed.iter().copied().collect();
+    retry.sort_unstable();
+    let _ = write!(
+        out,
+        "eck=({:?},{},{});dra={retry:?};elec={:?};seq={};rng={:?};",
+        v.last_epoch_check_seen,
+        v.epoch_check_active,
+        v.epoch_retry_armed,
+        v.election,
+        node.timer_seq,
+        node.rng,
+    );
+}
+
+fn sorted_map<V: std::fmt::Debug>(
+    out: &mut String,
+    label: &str,
+    map: &std::collections::HashMap<crate::msg::OpId, V>,
+) {
+    let mut entries: Vec<_> = map.iter().collect();
+    entries.sort_unstable_by_key(|(op, _)| **op);
+    let _ = write!(out, "{label}={entries:?};");
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}

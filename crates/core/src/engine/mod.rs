@@ -1,0 +1,47 @@
+//! The sans-I/O protocol engine.
+//!
+//! This layer is the entire protocol of the paper — write, read,
+//! propagation, and epoch checking — packaged as a **pure deterministic
+//! state machine**. A replica consumes [`Input`] events and returns a
+//! `Vec<`[`Effect`]`>`; it never touches a clock, an RNG source, a network
+//! socket, or a disk:
+//!
+//! * **time** is told to the engine with every [`ReplicaNode::step`] call;
+//! * **randomness** (retry jitter, propagation staggering) comes from an
+//!   engine-owned [`Rng64`] seeded from
+//!   [`ProtocolConfig::seed`](crate::config::ProtocolConfig::seed), so it is
+//!   part of the state machine, not an ambient source;
+//! * **transport, timers, durability** are requested as effects and applied
+//!   by whatever host embeds the engine — the discrete-event simulator, the
+//!   threaded runtime (both via the `simnet-host` feature), or the
+//!   substrate-free [`StepDriver`].
+//!
+//! **Determinism guarantee:** two `ReplicaNode`s constructed with the same
+//! `(NodeId, ProtocolConfig)` and fed the same sequence of `(now, Input)`
+//! pairs return byte-identical effect sequences and end in identical
+//! states. Everything observable flows through `step`.
+//!
+//! Durable state (the paper's §4 per-node tuple plus the 2PC artifacts)
+//! additionally travels through [`Effect::Persist`]: whenever a step
+//! changes [`Durable`](crate::node::Durable), the engine prepends a
+//! [`DurableDelta`] describing exactly what changed — epoch installation is
+//! a single atomic delta, mirroring the paper's atomic epoch commit. Hosts
+//! that care about real durability append deltas to a [`StableStorage`]
+//! journal; replaying the journal reconstructs `Durable` after a crash.
+
+pub mod ctx;
+pub mod driver;
+pub mod io;
+pub mod rng;
+pub mod step;
+pub mod storage;
+
+pub use coterie_base::{SimDuration, SimTime, TimerId};
+pub use ctx::NodeCtx;
+pub use driver::{DriverEvent, StepDriver};
+pub use io::{Effect, Input};
+pub use rng::Rng64;
+pub use storage::{DurableDelta, MemJournal, StableStorage};
+
+#[allow(unused_imports)] // doc links
+use crate::node::ReplicaNode;

@@ -1,0 +1,65 @@
+//! The engine-owned deterministic random number generator.
+//!
+//! Sans-I/O discipline forbids the protocol from reading an ambient
+//! entropy source, but the paper's protocol wants jitter (retry backoff,
+//! propagation staggering). The resolution is standard: the PRNG state is
+//! *part of the state machine*. Same seed + same input sequence ⇒ same
+//! draws ⇒ same effects.
+
+/// A SplitMix64 generator: tiny, fast, and good enough for jitter.
+///
+/// (Not cryptographic; nothing in the protocol needs unpredictability,
+/// only de-synchronization of replicas.)
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Rng64 {
+    state: u64,
+}
+
+impl Rng64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Rng64 { state: seed }
+    }
+
+    /// Draws a uniform `u64`.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Draws a uniform value in `[0, n)`; `n` must be positive.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0) is meaningless");
+        // Modulo bias is negligible for jitter purposes.
+        self.next_u64() % n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let mut a = Rng64::new(7);
+        let mut b = Rng64::new(7);
+        let mut c = Rng64::new(8);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn below_stays_in_range() {
+        let mut r = Rng64::new(42);
+        for _ in 0..1000 {
+            assert!(r.below(7) < 7);
+        }
+        assert_eq!(r.below(1), 0);
+    }
+}

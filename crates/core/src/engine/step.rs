@@ -1,0 +1,170 @@
+//! The engine's single entry point: [`ReplicaNode::step`].
+//!
+//! One input in, a batch of effects out. The dispatch below is the former
+//! simulator-callback wiring, now substrate-free: handlers receive an
+//! engine-owned [`NodeCtx`] backed by locals, so the borrow of `self` stays
+//! free for the protocol methods.
+
+use coterie_base::SimTime;
+
+use crate::config::Mode;
+use crate::msg::Msg;
+use crate::node::{ReplicaNode, Timer, Volatile};
+
+use super::ctx::NodeCtx;
+use super::io::{Effect, Input};
+use super::storage::DurableDelta;
+
+impl ReplicaNode {
+    /// Advances the state machine by one input at time `now`, returning the
+    /// effects the host must apply.
+    ///
+    /// If the step changed durable state, the **first** effect is the
+    /// [`Effect::Persist`] describing the change; hosts that journal must
+    /// make it stable before acting on the effects after it.
+    pub fn step(&mut self, now: SimTime, input: Input) -> Vec<Effect> {
+        let mut effects = Vec::new();
+        // Move the engine-owned substrate state into locals so the context
+        // can borrow them while protocol handlers borrow `self`.
+        let mut rng = self.rng;
+        let mut timer_seq = self.timer_seq;
+        {
+            let mut ctx = NodeCtx {
+                me: self.me,
+                now,
+                rng: &mut rng,
+                effects: &mut effects,
+                timer_seq: &mut timer_seq,
+            };
+            self.dispatch(&mut ctx, input);
+        }
+        self.rng = rng;
+        self.timer_seq = timer_seq;
+
+        if let Some(delta) = DurableDelta::diff(&self.shadow, &self.durable) {
+            delta.apply(&mut self.shadow);
+            debug_assert_eq!(
+                self.shadow, self.durable,
+                "delta must capture the full change"
+            );
+            effects.insert(0, Effect::Persist(delta));
+        }
+        effects
+    }
+
+    fn dispatch(&mut self, ctx: &mut NodeCtx<'_>, input: Input) {
+        match input {
+            Input::Boot => self.handle_boot(ctx),
+            Input::Crash => self.vol = Volatile::default(),
+            Input::Deliver { from, msg } => self.handle_message(ctx, from, msg),
+            Input::CallFailed { to, msg } => self.handle_call_failed(ctx, to, msg),
+            Input::TimerFired(timer) => self.handle_timer(ctx, timer),
+            Input::External(request) => self.start_client_request(ctx, request, 0),
+        }
+    }
+
+    fn handle_boot(&mut self, ctx: &mut NodeCtx<'_>) {
+        // Fence any in-doubt prepared transaction behind the replica lock
+        // and chase its outcome.
+        if let Some((op, _)) = self.durable.prepared.clone() {
+            self.vol.lock.force_exclusive(op);
+            self.arm_decision_retry(ctx, op);
+        }
+        if matches!(self.config.mode, Mode::Dynamic { .. }) {
+            self.arm_epoch_tick(ctx);
+        }
+    }
+
+    fn handle_message(&mut self, ctx: &mut NodeCtx<'_>, from: coterie_quorum::NodeId, msg: Msg) {
+        *self.stats.msgs_in.entry(msg.class()).or_insert(0) += 1;
+        match msg {
+            Msg::WriteReq { op } => self.srv_write_req(ctx, from, op),
+            Msg::ReadReq { op } => self.srv_read_req(ctx, from, op),
+            Msg::EpochCheckReq { op } => self.srv_epoch_check_req(ctx, from, op),
+            Msg::StateResp { op, granted, state } => {
+                self.on_state_resp(ctx, from, op, granted, state)
+            }
+            Msg::Release { op } => self.release_lock(ctx, op),
+            Msg::Prepare { op, action } => self.srv_prepare(ctx, from, op, action),
+            Msg::Vote { op, yes } => self.on_vote(ctx, from, op, yes),
+            Msg::Decision { op, commit } => self.srv_decision(ctx, from, op, commit),
+            Msg::DecisionQuery { op } => self.srv_decision_query(ctx, from, op),
+            Msg::FetchReq { op } => self.srv_fetch_req(ctx, from, op),
+            Msg::FetchResp { op, version, pages } => {
+                self.on_fetch_resp(ctx, from, op, version, pages)
+            }
+            Msg::PropOffer { prop, version } => self.srv_prop_offer(ctx, from, prop, version),
+            Msg::PropResp { prop, reply } => self.on_prop_resp(ctx, from, prop, reply),
+            Msg::PropData {
+                prop,
+                payload,
+                source_version,
+            } => self.srv_prop_data(ctx, from, prop, payload, source_version),
+            Msg::PropAck { prop, ok } => self.on_prop_ack(ctx, from, prop, ok),
+            Msg::PropCancel { prop } => self.srv_prop_cancel(ctx, from, prop),
+            Msg::Election { round } => self.srv_election(ctx, from, round),
+            Msg::ElectionAlive { round } => self.on_election_alive(ctx, from, round),
+            Msg::Coordinator => self.srv_coordinator(ctx, from),
+        }
+    }
+
+    fn handle_call_failed(&mut self, ctx: &mut NodeCtx<'_>, to: coterie_quorum::NodeId, msg: Msg) {
+        *self.stats.msgs_bounced.entry(msg.class()).or_insert(0) += 1;
+        match msg {
+            Msg::WriteReq { op } => self.on_write_peer_failed(ctx, op, to),
+            Msg::ReadReq { op } => self.on_read_peer_failed(ctx, op, to),
+            Msg::EpochCheckReq { op } => self.on_epoch_peer_failed(ctx, op, to),
+            // An unreachable 2PC participant is an implicit "no" (it cannot
+            // have prepared: it never received the Prepare).
+            Msg::Prepare { op, .. } => self.on_vote(ctx, to, op, false),
+            Msg::FetchReq { op } => self.on_fetch_failed(ctx, op, to),
+            Msg::PropOffer { prop, .. } | Msg::PropData { prop, .. } => {
+                self.on_prop_peer_failed(ctx, prop, to)
+            }
+            Msg::DecisionQuery { op } => {
+                // Coordinator unreachable: stay blocked, re-query later
+                // (deduplicated: at most one retry chain per op).
+                if self
+                    .durable
+                    .prepared
+                    .as_ref()
+                    .is_some_and(|(p, _)| *p == op)
+                {
+                    self.arm_decision_retry(ctx, op);
+                }
+            }
+            // Lost responses and notifications are covered by coordinator
+            // timeouts; lost decisions are re-fetched by the participant.
+            Msg::StateResp { .. }
+            | Msg::Vote { .. }
+            | Msg::Decision { .. }
+            | Msg::Release { .. }
+            | Msg::FetchResp { .. }
+            | Msg::PropResp { .. }
+            | Msg::PropAck { .. }
+            | Msg::PropCancel { .. }
+            | Msg::Election { .. }
+            | Msg::ElectionAlive { .. }
+            | Msg::Coordinator => {}
+        }
+    }
+
+    fn handle_timer(&mut self, ctx: &mut NodeCtx<'_>, timer: Timer) {
+        match timer {
+            Timer::Collect { op } => self.on_collect_timeout(ctx, op),
+            Timer::Votes { op } => self.on_vote_timeout(ctx, op),
+            Timer::Fetch { op } => self.on_fetch_timeout(ctx, op),
+            Timer::RetryClient { attempt, request } => {
+                self.start_client_request(ctx, request, attempt)
+            }
+            Timer::LockLease { op } => self.handle_lock_lease(ctx, op),
+            Timer::EpochTick => self.on_epoch_tick(ctx),
+            Timer::EpochRetry => self.on_epoch_retry(ctx),
+            Timer::PropKick => self.on_prop_kick(ctx),
+            Timer::PropTimeout { prop } => self.on_prop_timeout(ctx, prop),
+            Timer::PropLease { prop } => self.on_prop_lease(ctx, prop),
+            Timer::DecisionRetry { op } => self.on_decision_retry(ctx, op),
+            Timer::ElectionTimeout { round } => self.on_election_timeout(ctx, round),
+        }
+    }
+}

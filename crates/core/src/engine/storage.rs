@@ -1,0 +1,345 @@
+//! Durability: deltas, the stable-storage contract, and an in-memory
+//! journal.
+//!
+//! The engine never writes to disk; it *describes* what must become
+//! durable. After every [`step`](crate::node::ReplicaNode::step) that
+//! changes [`Durable`], the engine emits exactly one
+//! [`Effect::Persist`](super::io::Effect::Persist) carrying a
+//! [`DurableDelta`] — the precise set of fields that changed, computed by
+//! diffing against a shadow copy. Two properties matter:
+//!
+//! * **Atomicity of epoch installation.** The paper requires the epoch
+//!   tuple `(enumber, elist)` to change atomically; the delta carries the
+//!   pair as one field, and a whole delta is applied atomically by
+//!   [`StableStorage::append`], so no torn epoch can be observed on replay.
+//! * **Write-ahead ordering.** The `Persist` effect is always the *first*
+//!   effect of a step: a host that journals before sending guarantees the
+//!   2PC prepare record is stable before the vote that promises it.
+
+use bytes::Bytes;
+use coterie_quorum::NodeId;
+
+use crate::config::ProtocolConfig;
+use crate::msg::{Action, OpId};
+use crate::node::Durable;
+use crate::store::{PageId, WriteLog};
+
+/// The durable-state change produced by one engine step.
+///
+/// `None` / empty fields mean "unchanged". [`DurableDelta::apply`] replays
+/// the change onto a [`Durable`]; [`DurableDelta::diff`] computes it.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DurableDelta {
+    /// New replica version number.
+    pub version: Option<u64>,
+    /// New stale flag.
+    pub stale: Option<bool>,
+    /// New desired version.
+    pub dversion: Option<u64>,
+    /// New epoch `(enumber, elist)` — one field so the pair is atomic.
+    pub epoch: Option<(u64, Vec<NodeId>)>,
+    /// Rewritten pages of the object.
+    pub pages: Vec<(PageId, Bytes)>,
+    /// Full replacement write log (logs are tiny and bounded; shipping the
+    /// whole log keeps the delta trivially correct under trimming).
+    pub log: Option<WriteLog>,
+    /// New prepared-transaction slot (outer `Some` = changed; inner
+    /// `Option` is the slot's new value).
+    pub prepared: Option<Option<(OpId, Action)>>,
+    /// Coordinator decisions recorded by this step. The decision map is
+    /// append-only, so a delta only ever adds entries.
+    pub decisions: Vec<(OpId, bool)>,
+    /// New durable operation counter.
+    pub op_counter: Option<u64>,
+    /// New good list from the most recent write.
+    pub last_good: Option<Vec<NodeId>>,
+}
+
+impl DurableDelta {
+    /// Computes the delta carrying `old` to `new`, or `None` if the states
+    /// are identical.
+    ///
+    /// Cheap by construction: scalar fields compare as integers, pages
+    /// compare per-slot (`Bytes` content equality over refcounted slices),
+    /// the log compares by `(len, newest version)` — sound because log
+    /// versions are strictly increasing — and decisions compare by length,
+    /// sound because the map is append-only.
+    pub fn diff(old: &Durable, new: &Durable) -> Option<DurableDelta> {
+        let mut d = DurableDelta::default();
+        if new.version != old.version {
+            d.version = Some(new.version);
+        }
+        if new.stale != old.stale {
+            d.stale = Some(new.stale);
+        }
+        if new.dversion != old.dversion {
+            d.dversion = Some(new.dversion);
+        }
+        if new.enumber != old.enumber || new.elist != old.elist {
+            d.epoch = Some((new.enumber, new.elist.clone()));
+        }
+        debug_assert_eq!(old.object.n_pages(), new.object.n_pages());
+        for p in 0..new.object.n_pages() as PageId {
+            let (o, n) = (old.object.page(p), new.object.page(p));
+            if o != n {
+                d.pages.push((p, n.expect("page in range").clone()));
+            }
+        }
+        let log_id = |l: &WriteLog| (l.len(), l.newest_version());
+        if log_id(&new.log) != log_id(&old.log) {
+            d.log = Some(new.log.clone());
+        }
+        if new.prepared != old.prepared {
+            d.prepared = Some(new.prepared.clone());
+        }
+        if new.decisions.len() != old.decisions.len() {
+            let mut added: Vec<(OpId, bool)> = new
+                .decisions
+                .iter()
+                .filter(|(op, _)| !old.decisions.contains_key(op))
+                .map(|(op, commit)| (*op, *commit))
+                .collect();
+            added.sort_unstable_by_key(|(op, _)| *op);
+            debug_assert_eq!(
+                added.len() + old.decisions.len(),
+                new.decisions.len(),
+                "decision map must be append-only"
+            );
+            d.decisions = added;
+        }
+        if new.op_counter != old.op_counter {
+            d.op_counter = Some(new.op_counter);
+        }
+        if new.last_good != old.last_good {
+            d.last_good = Some(new.last_good.clone());
+        }
+        if d == DurableDelta::default() {
+            None
+        } else {
+            Some(d)
+        }
+    }
+
+    /// Applies this delta to `durable`.
+    pub fn apply(&self, durable: &mut Durable) {
+        if let Some(v) = self.version {
+            durable.version = v;
+        }
+        if let Some(s) = self.stale {
+            durable.stale = s;
+        }
+        if let Some(v) = self.dversion {
+            durable.dversion = v;
+        }
+        if let Some((enumber, elist)) = &self.epoch {
+            durable.enumber = *enumber;
+            durable.elist = elist.clone();
+        }
+        for (p, contents) in &self.pages {
+            durable.object.write_page(*p, contents.clone());
+        }
+        if let Some(log) = &self.log {
+            durable.log = log.clone();
+        }
+        if let Some(prepared) = &self.prepared {
+            durable.prepared = prepared.clone();
+        }
+        for (op, commit) in &self.decisions {
+            durable.decisions.insert(*op, *commit);
+        }
+        if let Some(c) = self.op_counter {
+            durable.op_counter = c;
+        }
+        if let Some(g) = &self.last_good {
+            durable.last_good = g.clone();
+        }
+    }
+}
+
+/// The contract between the engine's hosts and a durability backend.
+///
+/// `append` must be atomic: after a crash, replay sees every delta up to
+/// some prefix boundary, never half of one. The in-memory [`MemJournal`]
+/// satisfies this trivially; a disk-backed implementation would frame and
+/// checksum records.
+pub trait StableStorage {
+    /// Atomically appends one step's durable change.
+    fn append(&mut self, delta: &DurableDelta);
+
+    /// Reconstructs the durable state from the journal: the pristine state
+    /// for `config`, plus every appended delta in order.
+    fn replay(&self, config: &ProtocolConfig) -> Durable;
+}
+
+/// An append-only in-memory journal of [`DurableDelta`]s with optional
+/// compaction.
+#[derive(Clone, Debug, Default)]
+pub struct MemJournal {
+    /// Compacted prefix, if [`compact`](MemJournal::compact) has run.
+    base: Option<Durable>,
+    /// Deltas appended since the base.
+    deltas: Vec<DurableDelta>,
+    appended_total: u64,
+}
+
+impl MemJournal {
+    /// An empty journal.
+    pub fn new() -> Self {
+        MemJournal::default()
+    }
+
+    /// Number of deltas currently retained (since the last compaction).
+    pub fn len(&self) -> usize {
+        self.deltas.len()
+    }
+
+    /// True if nothing has ever been appended.
+    pub fn is_empty(&self) -> bool {
+        self.deltas.is_empty() && self.base.is_none()
+    }
+
+    /// Total deltas appended over the journal's lifetime (compaction does
+    /// not reset this).
+    pub fn appended_total(&self) -> u64 {
+        self.appended_total
+    }
+
+    /// Folds all retained deltas into a single base snapshot, bounding
+    /// memory while preserving [`replay`](StableStorage::replay) results.
+    pub fn compact(&mut self, config: &ProtocolConfig) {
+        let folded = self.replay(config);
+        self.base = Some(folded);
+        self.deltas.clear();
+    }
+}
+
+impl StableStorage for MemJournal {
+    fn append(&mut self, delta: &DurableDelta) {
+        self.deltas.push(delta.clone());
+        self.appended_total += 1;
+    }
+
+    fn replay(&self, config: &ProtocolConfig) -> Durable {
+        let mut durable = match &self.base {
+            Some(base) => base.clone(),
+            None => Durable::pristine(config),
+        };
+        for delta in &self.deltas {
+            delta.apply(&mut durable);
+        }
+        durable
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::{LogEntry, PartialWrite};
+    use coterie_quorum::GridCoterie;
+    use std::sync::Arc;
+
+    fn cfg() -> ProtocolConfig {
+        ProtocolConfig::new(Arc::new(GridCoterie::new()), 4)
+    }
+
+    fn b(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn diff_of_identical_states_is_none() {
+        let d = Durable::pristine(&cfg());
+        assert!(DurableDelta::diff(&d, &d.clone()).is_none());
+    }
+
+    #[test]
+    fn diff_then_apply_round_trips() {
+        let config = cfg();
+        let old = Durable::pristine(&config);
+        let mut new = old.clone();
+        new.version = 3;
+        new.stale = true;
+        new.dversion = 5;
+        new.enumber = 2;
+        new.elist = vec![NodeId(0), NodeId(2)];
+        new.object
+            .apply(&PartialWrite::new([(1, b("hello")), (3, b("world"))]));
+        new.log.push(LogEntry {
+            version: 3,
+            write: PartialWrite::new([(1, b("hello"))]),
+        });
+        new.prepared = Some((
+            OpId {
+                node: NodeId(1),
+                seq: 9,
+            },
+            Action::MarkStale { desired_version: 7 },
+        ));
+        new.decisions.insert(
+            OpId {
+                node: NodeId(0),
+                seq: 1,
+            },
+            true,
+        );
+        new.op_counter = 11;
+        new.last_good = vec![NodeId(0)];
+
+        let delta = DurableDelta::diff(&old, &new).expect("changed");
+        let mut rebuilt = old.clone();
+        delta.apply(&mut rebuilt);
+        assert_eq!(rebuilt, new);
+    }
+
+    #[test]
+    fn journal_replay_reconstructs_state() {
+        let config = cfg();
+        let mut state = Durable::pristine(&config);
+        let mut journal = MemJournal::new();
+
+        for v in 1..=6u64 {
+            let mut next = state.clone();
+            next.version = v;
+            next.object
+                .apply(&PartialWrite::new([((v % 4) as PageId, b("pg"))]));
+            next.log.push(LogEntry {
+                version: v,
+                write: PartialWrite::new([((v % 4) as PageId, b("pg"))]),
+            });
+            let delta = DurableDelta::diff(&state, &next).expect("changed");
+            journal.append(&delta);
+            state = next;
+
+            assert_eq!(journal.replay(&config), state);
+        }
+        assert_eq!(journal.appended_total(), 6);
+
+        journal.compact(&config);
+        assert_eq!(journal.len(), 0);
+        assert_eq!(
+            journal.replay(&config),
+            state,
+            "compaction preserves replay"
+        );
+        assert_eq!(journal.appended_total(), 6);
+    }
+
+    #[test]
+    fn epoch_changes_atomically() {
+        let config = cfg();
+        let old = Durable::pristine(&config);
+        let mut new = old.clone();
+        new.enumber = 4;
+        new.elist = vec![NodeId(1), NodeId(3)];
+        let delta = DurableDelta::diff(&old, &new).unwrap();
+        assert_eq!(delta.epoch, Some((4, vec![NodeId(1), NodeId(3)])));
+        // The rest of the delta is empty: nothing else is touched.
+        assert_eq!(
+            DurableDelta {
+                epoch: None,
+                ..delta
+            },
+            DurableDelta::default()
+        );
+    }
+}

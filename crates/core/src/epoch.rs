@@ -7,22 +7,22 @@
 //!
 //! **Initiator selection.** The paper suggests electing a site responsible
 //! for initiating epoch checks, deferring to Garcia-Molina's election
-//! protocols [7]. Both options are implemented (see
+//! protocols \[7\]. Both options are implemented (see
 //! [`crate::election::InitiatorPolicy`]): the default election-free
 //! rank-stagger scheme — every node ticks with a period growing with its
 //! rank and initiates only when no recent check was observed — and the
-//! literal bully election of [7].
+//! literal bully election of \[7\].
 
 use crate::classify::Classified;
 use crate::config::Mode;
 use crate::msg::{Action, Msg, OpId, StateTuple};
 use crate::node::{NodeCtx, ReplicaNode, Timer};
+use coterie_base::{SimDuration, TimerId};
 use coterie_quorum::{NodeId, NodeSet, QuorumKind};
-use coterie_simnet::{SimDuration, TimerId};
 use std::collections::BTreeMap;
 
 /// Phase of a coordinated epoch check.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub enum EPhase {
     /// Polling all replicas.
     Collect,
@@ -40,7 +40,7 @@ pub enum EPhase {
 }
 
 /// Volatile state of one epoch check.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct EpochCoordinator {
     /// Operation id.
     pub op: OpId,
@@ -131,12 +131,7 @@ impl ReplicaNode {
     }
 
     /// A state response for an epoch check.
-    pub(crate) fn epoch_state_resp(
-        &mut self,
-        ctx: &mut NodeCtx<'_>,
-        op: OpId,
-        state: StateTuple,
-    ) {
+    pub(crate) fn epoch_state_resp(&mut self, ctx: &mut NodeCtx<'_>, op: OpId, state: StateTuple) {
         let Some(ec) = self.vol.epochs.get_mut(&op) else {
             return;
         };
@@ -315,8 +310,8 @@ impl ReplicaNode {
         // unrepaired. One-shot so retry timers never accumulate.
         if !self.vol.epoch_retry_armed {
             self.vol.epoch_retry_armed = true;
-            let delay = self.config.collect_timeout * 8
-                + self.jitter(ctx, self.config.collect_timeout * 8);
+            let delay =
+                self.config.collect_timeout * 8 + self.jitter(ctx, self.config.collect_timeout * 8);
             ctx.set_timer(delay, Timer::EpochRetry);
         }
     }

@@ -1,0 +1,159 @@
+//! Host adapters binding the sans-I/O engine to the `coterie-simnet`
+//! substrate (feature `simnet-host`).
+//!
+//! The adapters are deliberately thin: each simulator callback is
+//! translated into one [`Input`], fed to [`ReplicaNode::step`], and the
+//! returned [`Effect`]s are replayed onto the simulator's context. All
+//! protocol behaviour lives in the engine; nothing here makes decisions.
+//!
+//! Two hosts are provided:
+//!
+//! * [`ReplicaNode`] itself implements [`Application`] — durable state
+//!   simply lives in the engine struct (and survives simulated crashes
+//!   because the engine value survives them). `Persist` effects are
+//!   dropped: there is no storage to write to.
+//! * [`JournaledNode`] additionally appends every `Persist` delta to a
+//!   [`MemJournal`] and, on crash, **discards the engine's durable state
+//!   and reinstalls it from journal replay** — so a simulation run over
+//!   `JournaledNode`s proves the journal alone carries everything the
+//!   protocol needs across failures.
+
+use coterie_base::SimTime;
+use coterie_quorum::NodeId;
+use coterie_simnet::{Application, Ctx};
+
+use crate::engine::io::{Effect, Input};
+use crate::engine::storage::{MemJournal, StableStorage};
+use crate::msg::{ClientRequest, Msg, ProtocolEvent};
+use crate::node::{ReplicaNode, Timer};
+
+/// Replays engine effects onto a simulator context. `Persist` effects are
+/// handled by the caller (journaling hosts intercept them first).
+fn replay_effects<A>(ctx: &mut Ctx<'_, A>, effects: &[Effect])
+where
+    A: Application<Msg = Msg, Timer = Timer, Output = ProtocolEvent>,
+{
+    for effect in effects {
+        match effect {
+            Effect::Send { to, msg } => ctx.send(*to, msg.clone()),
+            Effect::SetTimer { id, delay, timer } => {
+                ctx.set_timer_with_id(*id, *delay, timer.clone())
+            }
+            Effect::CancelTimer(id) => ctx.cancel_timer(*id),
+            Effect::Persist(_) => {}
+            Effect::Output(event) => ctx.output(event.clone()),
+        }
+    }
+}
+
+impl Application for ReplicaNode {
+    type Msg = Msg;
+    type Timer = Timer;
+    type External = ClientRequest;
+    type Output = ProtocolEvent;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Self>) {
+        let effects = self.step(ctx.now(), Input::Boot);
+        replay_effects(ctx, &effects);
+    }
+
+    fn on_crash(&mut self) {
+        // Crash produces no effects (it only wipes volatile state); the
+        // host drops this node's pending timers itself.
+        let _ = self.step(SimTime::ZERO, Input::Crash);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Self>, from: NodeId, msg: Msg) {
+        let effects = self.step(ctx.now(), Input::Deliver { from, msg });
+        replay_effects(ctx, &effects);
+    }
+
+    fn on_call_failed(&mut self, ctx: &mut Ctx<'_, Self>, to: NodeId, msg: Msg) {
+        let effects = self.step(ctx.now(), Input::CallFailed { to, msg });
+        replay_effects(ctx, &effects);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Self>, timer: Timer) {
+        let effects = self.step(ctx.now(), Input::TimerFired(timer));
+        replay_effects(ctx, &effects);
+    }
+
+    fn on_external(&mut self, ctx: &mut Ctx<'_, Self>, request: ClientRequest) {
+        let effects = self.step(ctx.now(), Input::External(request));
+        replay_effects(ctx, &effects);
+    }
+}
+
+/// A replica host that treats the [`MemJournal`] as its only stable
+/// storage: durable state is recovered from journal replay after every
+/// crash rather than trusted from memory.
+#[derive(Clone, Debug)]
+pub struct JournaledNode {
+    /// The engine.
+    pub node: ReplicaNode,
+    /// The journal of persisted deltas.
+    pub journal: MemJournal,
+}
+
+impl JournaledNode {
+    /// Creates a journaled node with pristine state and an empty journal.
+    pub fn new(me: NodeId, config: crate::config::ProtocolConfig) -> Self {
+        JournaledNode {
+            node: ReplicaNode::new(me, config),
+            journal: MemJournal::new(),
+        }
+    }
+
+    fn run(&mut self, ctx: &mut Ctx<'_, Self>, input: Input) {
+        let effects = self.node.step(ctx.now(), input);
+        // Write-ahead: journal the delta before any send/output it governs.
+        for effect in &effects {
+            if let Effect::Persist(delta) = effect {
+                self.journal.append(delta);
+            }
+        }
+        replay_effects(ctx, &effects);
+    }
+}
+
+impl std::ops::Deref for JournaledNode {
+    type Target = ReplicaNode;
+
+    fn deref(&self) -> &ReplicaNode {
+        &self.node
+    }
+}
+
+impl Application for JournaledNode {
+    type Msg = Msg;
+    type Timer = Timer;
+    type External = ClientRequest;
+    type Output = ProtocolEvent;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Self>) {
+        self.run(ctx, Input::Boot);
+    }
+
+    fn on_crash(&mut self) {
+        let _ = self.node.step(SimTime::ZERO, Input::Crash);
+        // Lose the in-memory durable state; come back from "disk".
+        let replayed = self.journal.replay(&self.node.config);
+        self.node.install_durable(replayed);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Self>, from: NodeId, msg: Msg) {
+        self.run(ctx, Input::Deliver { from, msg });
+    }
+
+    fn on_call_failed(&mut self, ctx: &mut Ctx<'_, Self>, to: NodeId, msg: Msg) {
+        self.run(ctx, Input::CallFailed { to, msg });
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Self>, timer: Timer) {
+        self.run(ctx, Input::TimerFired(timer));
+    }
+
+    fn on_external(&mut self, ctx: &mut Ctx<'_, Self>, request: ClientRequest) {
+        self.run(ctx, Input::External(request));
+    }
+}

@@ -1,13 +1,11 @@
-#![warn(missing_docs)]
-
 //! # coterie-core
 //!
 //! The dynamic structured coterie protocol of Rabinovich & Lazowska
 //! (SIGMOD 1992, "Improving Fault Tolerance and Supporting Partial Writes
 //! in Structured Coterie Protocols for Replicated Objects").
 //!
-//! Every replica runs a [`ReplicaNode`], an event-driven state machine over
-//! the [`coterie_simnet`] substrate that implements:
+//! Every replica runs a [`ReplicaNode`], a **sans-I/O state machine**
+//! (see [`engine`]) that implements:
 //!
 //! * the **write protocol** (§4.1): quorum permission over the current
 //!   epoch, the common light path, `HeavyProcedure` when the light quorum
@@ -29,27 +27,29 @@
 //! [`coterie_quorum::GridCoterie`] yields the paper's *dynamic grid
 //! protocol*; [`coterie_quorum::MajorityCoterie`] yields dynamic voting.
 //!
+//! The engine consumes [`Input`]s and emits [`Effect`]s; hosts apply them
+//! to a substrate. The [`StepDriver`] below is the substrate-free host
+//! (the `simnet-host` feature adds adapters for the discrete-event
+//! simulator and the threaded runtime):
+//!
 //! ```
-//! use coterie_core::{ClientRequest, PartialWrite, ProtocolConfig, ReplicaNode};
+//! use coterie_core::{ClientRequest, PartialWrite, ProtocolConfig, StepDriver};
+//! use coterie_base::SimDuration;
 //! use coterie_quorum::{GridCoterie, NodeId};
-//! use coterie_simnet::{Sim, SimConfig, SimDuration, SimTime};
 //! use std::sync::Arc;
 //!
 //! let config = ProtocolConfig::new(Arc::new(GridCoterie::new()), 9);
-//! let mut sim = Sim::new(9, SimConfig::default(), |id| {
-//!     ReplicaNode::new(id, config.clone())
-//! });
-//! sim.schedule_external(
-//!     SimTime::ZERO,
+//! let mut driver = StepDriver::new(9, config);
+//! driver.inject(
 //!     NodeId(0),
 //!     ClientRequest::Write {
 //!         id: 1,
 //!         write: PartialWrite::new([(0, bytes::Bytes::from_static(b"hello"))]),
 //!     },
 //! );
-//! sim.run_for(SimDuration::from_secs(1));
-//! let outputs = sim.take_outputs();
-//! assert!(outputs
+//! driver.run_for(SimDuration::from_secs(1));
+//! assert!(driver
+//!     .outputs()
 //!     .iter()
 //!     .any(|(_, _, e)| matches!(e, coterie_core::ProtocolEvent::WriteOk { .. })));
 //! ```
@@ -57,7 +57,10 @@
 pub mod classify;
 pub mod config;
 pub mod election;
+pub mod engine;
 pub mod epoch;
+#[cfg(feature = "simnet-host")]
+pub mod host;
 pub mod locks;
 pub mod msg;
 pub mod node;
@@ -71,10 +74,16 @@ pub mod write;
 pub use classify::Classified;
 pub use config::{Mode, ProtocolConfig, WriteMode};
 pub use election::InitiatorPolicy;
+pub use engine::driver::{Envelope, PendingTimer};
+pub use engine::{
+    DriverEvent, DurableDelta, Effect, Input, MemJournal, NodeCtx, Rng64, StableStorage, StepDriver,
+};
+#[cfg(feature = "simnet-host")]
+pub use host::JournaledNode;
 pub use locks::{LockGrant, ReplicaLock};
 pub use msg::{
-    Action, ClientRequest, FailReason, Msg, MsgClass, OpId, PropPayload, PropReply,
-    ProtocolEvent, StateTuple,
+    Action, ClientRequest, FailReason, Msg, MsgClass, OpId, PropPayload, PropReply, ProtocolEvent,
+    StateTuple,
 };
 pub use node::{Durable, NodeStats, ReplicaNode, Timer, Volatile};
 pub use store::{LogEntry, PageId, PagedObject, PartialWrite, WriteLog};

@@ -2,7 +2,7 @@
 //!
 //! Each node that receives a permission request "obtains a lock for its
 //! replica and responds with its state" (§4.1). The paper leaves deadlock
-//! handling open ("For ways to handle deadlocks see for example [2]"); we
+//! handling open ("For ways to handle deadlocks see for example \[2\]"); we
 //! use *no-wait* locking: a request that cannot be granted immediately is
 //! refused, and the coordinator aborts and retries with backoff. No-wait
 //! systems cannot deadlock because no transaction ever holds one lock while
@@ -90,6 +90,11 @@ impl ReplicaLock {
     /// Whether the replica is locked at all.
     pub fn is_locked(&self) -> bool {
         self.exclusive.is_some() || !self.shared.is_empty()
+    }
+
+    /// The operations currently holding the lock shared (arbitrary order).
+    pub fn shared_holders(&self) -> impl Iterator<Item = OpId> + '_ {
+        self.shared.iter().copied()
     }
 
     /// The current exclusive holder, if any.

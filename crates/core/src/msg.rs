@@ -248,12 +248,14 @@ impl Msg {
     /// Coarse message-class label used by the traffic metrics.
     pub fn class(&self) -> MsgClass {
         match self {
-            Msg::WriteReq { .. } | Msg::ReadReq { .. } | Msg::StateResp { .. } | Msg::Release { .. } => {
-                MsgClass::Permission
-            }
-            Msg::Prepare { .. } | Msg::Vote { .. } | Msg::Decision { .. } | Msg::DecisionQuery { .. } => {
-                MsgClass::Commit
-            }
+            Msg::WriteReq { .. }
+            | Msg::ReadReq { .. }
+            | Msg::StateResp { .. }
+            | Msg::Release { .. } => MsgClass::Permission,
+            Msg::Prepare { .. }
+            | Msg::Vote { .. }
+            | Msg::Decision { .. }
+            | Msg::DecisionQuery { .. } => MsgClass::Commit,
             Msg::FetchReq { .. } | Msg::FetchResp { .. } => MsgClass::Fetch,
             Msg::PropOffer { .. }
             | Msg::PropResp { .. }

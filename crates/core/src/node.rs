@@ -1,18 +1,20 @@
-//! The replica node: durable and volatile state, and the event dispatch
-//! that wires the protocol modules into the simulator's [`Application`]
-//! interface.
+//! The replica node: durable and volatile state. The event dispatch that
+//! drives the protocol lives in [`crate::engine::step`] (the sans-I/O
+//! [`ReplicaNode::step`] entry point); hosts adapt it to their substrate
+//! (see the `simnet-host` feature).
 
-use crate::config::{Mode, ProtocolConfig};
+use crate::config::ProtocolConfig;
 use crate::election::ElectionState;
+use crate::engine::rng::Rng64;
 use crate::epoch::EpochCoordinator;
 use crate::locks::ReplicaLock;
-use crate::msg::{Action, ClientRequest, Msg, MsgClass, OpId, ProtocolEvent};
+use crate::msg::{Action, ClientRequest, MsgClass, OpId};
 use crate::propagate::{IncomingProp, Propagator};
 use crate::read::ReadCoordinator;
 use crate::store::{PagedObject, WriteLog};
 use crate::write::WriteCoordinator;
+use coterie_base::{SimDuration, SimTime, TimerId};
 use coterie_quorum::{NodeId, PlanCache, View};
-use coterie_simnet::{Application, Ctx, SimDuration, SimTime, TimerId};
 use std::collections::HashMap;
 
 /// Timers used by the protocol.
@@ -78,7 +80,7 @@ pub enum Timer {
 /// §4 — version number, epoch number, stale flag, desired version, epoch
 /// list — plus the object, the propagation log, and the 2PC artifacts that
 /// textbook atomic commit requires to be durable).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Durable {
     /// Replica version number.
     pub version: u64,
@@ -107,7 +109,9 @@ pub struct Durable {
 }
 
 impl Durable {
-    fn new(config: &ProtocolConfig) -> Self {
+    /// The pristine durable state a node has before its first write: the
+    /// base state journal replay starts from.
+    pub fn pristine(config: &ProtocolConfig) -> Self {
         Durable {
             version: 0,
             stale: false,
@@ -130,7 +134,7 @@ impl Durable {
 }
 
 /// State wiped by a crash.
-#[derive(Default)]
+#[derive(Debug, Default)]
 pub struct Volatile {
     /// The replica lock.
     pub lock: ReplicaLock,
@@ -165,6 +169,30 @@ pub struct Volatile {
     /// rebuilt on demand after a crash, and stale entries for dead epochs
     /// are harmless (they are simply never looked up again).
     pub plans: PlanCache,
+}
+
+impl Clone for Volatile {
+    fn clone(&self) -> Self {
+        Volatile {
+            lock: self.lock.clone(),
+            lock_leases: self.lock_leases.clone(),
+            writes: self.writes.clone(),
+            reads: self.reads.clone(),
+            epochs: self.epochs.clone(),
+            propagator: self.propagator.clone(),
+            incoming_prop: self.incoming_prop.clone(),
+            pending_epoch_prepare: self.pending_epoch_prepare.clone(),
+            last_epoch_check_seen: self.last_epoch_check_seen,
+            epoch_check_active: self.epoch_check_active,
+            epoch_retry_armed: self.epoch_retry_armed,
+            decision_retry_armed: self.decision_retry_armed.clone(),
+            election: self.election.clone(),
+            // A pure cache: cloning an empty one is always correct, and the
+            // clone (driver forks in the interleaving explorer) rebuilds
+            // plans on demand.
+            plans: PlanCache::default(),
+        }
+    }
 }
 
 /// Cumulative per-node counters. Not protocol state: kept across crashes so
@@ -207,6 +235,12 @@ impl NodeStats {
 }
 
 /// A replica node running the dynamic structured coterie protocol.
+///
+/// This is the sans-I/O engine: feed it [`Input`](crate::engine::Input)s
+/// via [`step`](ReplicaNode::step) and apply the returned
+/// [`Effect`](crate::engine::Effect)s. `Clone` forks the entire machine —
+/// the interleaving explorer uses this to branch schedules.
+#[derive(Clone, Debug)]
 pub struct ReplicaNode {
     /// This node's name.
     pub me: NodeId,
@@ -218,22 +252,43 @@ pub struct ReplicaNode {
     pub vol: Volatile,
     /// Run-long counters (measurement only).
     pub stats: NodeStats,
+    /// Engine-owned deterministic RNG (jitter): seeded from
+    /// `config.seed ^ me`, advanced only by protocol draws.
+    pub(crate) rng: Rng64,
+    /// Monotonic timer-id allocator; node-unique for the engine's lifetime.
+    pub(crate) timer_seq: u64,
+    /// Shadow copy of [`durable`](ReplicaNode::durable) as of the last
+    /// emitted `Persist`, used to diff out per-step deltas.
+    pub(crate) shadow: Durable,
 }
 
-/// Context alias used by all protocol handlers.
-pub type NodeCtx<'a> = Ctx<'a, ReplicaNode>;
+/// Context threaded through all protocol handlers (engine-owned).
+pub use crate::engine::ctx::NodeCtx;
 
 impl ReplicaNode {
     /// Creates a node with pristine durable state.
     pub fn new(me: NodeId, config: ProtocolConfig) -> Self {
-        let durable = Durable::new(&config);
+        let durable = Durable::pristine(&config);
         ReplicaNode {
             me,
+            rng: Rng64::new(config.seed ^ u64::from(me.0)),
             config,
+            shadow: durable.clone(),
             durable,
             vol: Volatile::default(),
             stats: NodeStats::default(),
+            timer_seq: 0,
         }
+    }
+
+    /// Replaces the durable state wholesale — the recovery path for hosts
+    /// that reconstruct it from stable storage
+    /// (see [`StableStorage::replay`](crate::engine::StableStorage::replay))
+    /// instead of trusting the in-memory copy. Resets the persistence
+    /// shadow so the next step diffs against the installed state.
+    pub fn install_durable(&mut self, durable: Durable) {
+        self.shadow = durable.clone();
+        self.durable = durable;
     }
 
     /// Allocates a fresh operation id.
@@ -267,7 +322,7 @@ impl ReplicaNode {
         self.grant_pending_epoch_prepare(ctx);
     }
 
-    fn handle_lock_lease(&mut self, ctx: &mut NodeCtx<'_>, op: OpId) {
+    pub(crate) fn handle_lock_lease(&mut self, ctx: &mut NodeCtx<'_>, op: OpId) {
         self.vol.lock_leases.remove(&op);
         // Never break a prepared transaction's lock: 2PC blocks until the
         // outcome is known (textbook behaviour).
@@ -279,126 +334,6 @@ impl ReplicaNode {
         }
         self.vol.lock.release(op);
         self.grant_pending_epoch_prepare(ctx);
-    }
-}
-
-impl Application for ReplicaNode {
-    type Msg = Msg;
-    type Timer = Timer;
-    type External = ClientRequest;
-    type Output = ProtocolEvent;
-
-    fn on_start(&mut self, ctx: &mut Ctx<'_, Self>) {
-        // Fence any in-doubt prepared transaction behind the replica lock
-        // and chase its outcome.
-        if let Some((op, _)) = self.durable.prepared.clone() {
-            self.vol.lock.force_exclusive(op);
-            self.arm_decision_retry(ctx, op);
-        }
-        if matches!(self.config.mode, Mode::Dynamic { .. }) {
-            self.arm_epoch_tick(ctx);
-        }
-    }
-
-    fn on_crash(&mut self) {
-        self.vol = Volatile::default();
-    }
-
-    fn on_message(&mut self, ctx: &mut Ctx<'_, Self>, from: NodeId, msg: Msg) {
-        *self.stats.msgs_in.entry(msg.class()).or_insert(0) += 1;
-        match msg {
-            Msg::WriteReq { op } => self.srv_write_req(ctx, from, op),
-            Msg::ReadReq { op } => self.srv_read_req(ctx, from, op),
-            Msg::EpochCheckReq { op } => self.srv_epoch_check_req(ctx, from, op),
-            Msg::StateResp { op, granted, state } => {
-                self.on_state_resp(ctx, from, op, granted, state)
-            }
-            Msg::Release { op } => self.release_lock(ctx, op),
-            Msg::Prepare { op, action } => self.srv_prepare(ctx, from, op, action),
-            Msg::Vote { op, yes } => self.on_vote(ctx, from, op, yes),
-            Msg::Decision { op, commit } => self.srv_decision(ctx, from, op, commit),
-            Msg::DecisionQuery { op } => self.srv_decision_query(ctx, from, op),
-            Msg::FetchReq { op } => self.srv_fetch_req(ctx, from, op),
-            Msg::FetchResp { op, version, pages } => {
-                self.on_fetch_resp(ctx, from, op, version, pages)
-            }
-            Msg::PropOffer { prop, version } => self.srv_prop_offer(ctx, from, prop, version),
-            Msg::PropResp { prop, reply } => self.on_prop_resp(ctx, from, prop, reply),
-            Msg::PropData {
-                prop,
-                payload,
-                source_version,
-            } => self.srv_prop_data(ctx, from, prop, payload, source_version),
-            Msg::PropAck { prop, ok } => self.on_prop_ack(ctx, from, prop, ok),
-            Msg::PropCancel { prop } => self.srv_prop_cancel(ctx, from, prop),
-            Msg::Election { round } => self.srv_election(ctx, from, round),
-            Msg::ElectionAlive { round } => self.on_election_alive(ctx, from, round),
-            Msg::Coordinator => self.srv_coordinator(ctx, from),
-        }
-    }
-
-    fn on_call_failed(&mut self, ctx: &mut Ctx<'_, Self>, to: NodeId, msg: Msg) {
-        *self.stats.msgs_bounced.entry(msg.class()).or_insert(0) += 1;
-        match msg {
-            Msg::WriteReq { op } => self.on_write_peer_failed(ctx, op, to),
-            Msg::ReadReq { op } => self.on_read_peer_failed(ctx, op, to),
-            Msg::EpochCheckReq { op } => self.on_epoch_peer_failed(ctx, op, to),
-            // An unreachable 2PC participant is an implicit "no" (it cannot
-            // have prepared: it never received the Prepare).
-            Msg::Prepare { op, .. } => self.on_vote(ctx, to, op, false),
-            Msg::FetchReq { op } => self.on_fetch_failed(ctx, op, to),
-            Msg::PropOffer { prop, .. } | Msg::PropData { prop, .. } => {
-                self.on_prop_peer_failed(ctx, prop, to)
-            }
-            Msg::DecisionQuery { op } => {
-                // Coordinator unreachable: stay blocked, re-query later
-                // (deduplicated: at most one retry chain per op).
-                if self
-                    .durable
-                    .prepared
-                    .as_ref()
-                    .is_some_and(|(p, _)| *p == op)
-                {
-                    self.arm_decision_retry(ctx, op);
-                }
-            }
-            // Lost responses and notifications are covered by coordinator
-            // timeouts; lost decisions are re-fetched by the participant.
-            Msg::StateResp { .. }
-            | Msg::Vote { .. }
-            | Msg::Decision { .. }
-            | Msg::Release { .. }
-            | Msg::FetchResp { .. }
-            | Msg::PropResp { .. }
-            | Msg::PropAck { .. }
-            | Msg::PropCancel { .. }
-            | Msg::Election { .. }
-            | Msg::ElectionAlive { .. }
-            | Msg::Coordinator => {}
-        }
-    }
-
-    fn on_timer(&mut self, ctx: &mut Ctx<'_, Self>, timer: Timer) {
-        match timer {
-            Timer::Collect { op } => self.on_collect_timeout(ctx, op),
-            Timer::Votes { op } => self.on_vote_timeout(ctx, op),
-            Timer::Fetch { op } => self.on_fetch_timeout(ctx, op),
-            Timer::RetryClient { attempt, request } => {
-                self.start_client_request(ctx, request, attempt)
-            }
-            Timer::LockLease { op } => self.handle_lock_lease(ctx, op),
-            Timer::EpochTick => self.on_epoch_tick(ctx),
-            Timer::EpochRetry => self.on_epoch_retry(ctx),
-            Timer::PropKick => self.on_prop_kick(ctx),
-            Timer::PropTimeout { prop } => self.on_prop_timeout(ctx, prop),
-            Timer::PropLease { prop } => self.on_prop_lease(ctx, prop),
-            Timer::DecisionRetry { op } => self.on_decision_retry(ctx, op),
-            Timer::ElectionTimeout { round } => self.on_election_timeout(ctx, round),
-        }
-    }
-
-    fn on_external(&mut self, ctx: &mut Ctx<'_, Self>, request: ClientRequest) {
-        self.start_client_request(ctx, request, 0);
     }
 }
 

@@ -12,12 +12,12 @@
 
 use crate::msg::{Msg, OpId, PropPayload, PropReply, ProtocolEvent};
 use crate::node::{NodeCtx, ReplicaNode, Timer};
+use coterie_base::TimerId;
 use coterie_quorum::{NodeId, NodeSet};
-use coterie_simnet::TimerId;
 use std::collections::HashMap;
 
 /// Outgoing propagation state at a good replica.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct Propagator {
     /// Stale replicas still to bring up to date.
     pub remaining: NodeSet,
@@ -31,7 +31,7 @@ pub struct Propagator {
 }
 
 /// One in-flight propagation attempt.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct PropFlight {
     /// Attempt id.
     pub prop: OpId,
@@ -47,7 +47,7 @@ pub struct PropFlight {
 
 /// Target-side state of an accepted propagation (the paper's
 /// `locked-for-propagation` bit, with the source recorded).
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct IncomingProp {
     /// Attempt id.
     pub prop: OpId,
@@ -294,7 +294,12 @@ impl ReplicaNode {
             ctx.send(from, Msg::PropAck { prop, ok: false });
             return;
         }
-        let locked = self.vol.incoming_prop.as_ref().map(|i| i.locked).unwrap_or(false);
+        let locked = self
+            .vol
+            .incoming_prop
+            .as_ref()
+            .map(|i| i.locked)
+            .unwrap_or(false);
         // Lock-free fence: a two-phase commit grabbed the replica between
         // the offer and the transfer — back off, retry later.
         if !locked
@@ -345,7 +350,13 @@ impl ReplicaNode {
     }
 
     /// Source side: transfer acknowledged.
-    pub(crate) fn on_prop_ack(&mut self, ctx: &mut NodeCtx<'_>, from: NodeId, prop: OpId, ok: bool) {
+    pub(crate) fn on_prop_ack(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        from: NodeId,
+        prop: OpId,
+        ok: bool,
+    ) {
         let Some(flight) = &self.vol.propagator.in_flight else {
             return;
         };
@@ -427,7 +438,12 @@ impl ReplicaNode {
             .as_ref()
             .is_some_and(|inc| inc.prop == prop);
         if matches_incoming {
-            let locked = self.vol.incoming_prop.take().map(|i| i.locked).unwrap_or(false);
+            let locked = self
+                .vol
+                .incoming_prop
+                .take()
+                .map(|i| i.locked)
+                .unwrap_or(false);
             if locked {
                 self.release_lock(ctx, prop);
             }

@@ -8,12 +8,12 @@ use crate::classify::Classified;
 use crate::msg::{ClientRequest, FailReason, Msg, OpId, ProtocolEvent, StateTuple};
 use crate::node::{NodeCtx, ReplicaNode, Timer};
 use bytes::Bytes;
+use coterie_base::TimerId;
 use coterie_quorum::{quorum_seed, NodeId, NodeSet, QuorumKind};
-use coterie_simnet::TimerId;
 use std::collections::BTreeMap;
 
 /// Phase of a coordinated read.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub enum RPhase {
     /// Gathering permission responses.
     Collect,
@@ -31,7 +31,7 @@ pub enum RPhase {
 }
 
 /// Volatile state of one coordinated read.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct ReadCoordinator {
     /// Operation id.
     pub op: OpId,
@@ -234,12 +234,11 @@ impl ReplicaNode {
             .union(rc.refused);
         let view = self.durable.epoch_view();
         let rule = &*self.config.rule;
-        if self
-            .vol
-            .plans
-            .plan_for(rule, &view)
-            .includes_quorum_with(rule, optimistic, QuorumKind::Read)
-        {
+        if self.vol.plans.plan_for(rule, &view).includes_quorum_with(
+            rule,
+            optimistic,
+            QuorumKind::Read,
+        ) {
             FailReason::Contention
         } else {
             FailReason::NoQuorum

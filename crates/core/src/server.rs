@@ -4,8 +4,8 @@
 use crate::msg::{Action, Msg, OpId, StateTuple};
 use crate::node::{NodeCtx, ReplicaNode};
 use crate::store::LogEntry;
+use coterie_base::SimDuration;
 use coterie_quorum::{NodeId, NodeSet};
-use coterie_simnet::SimDuration;
 
 impl ReplicaNode {
     /// This replica's state tuple (the paper's
@@ -142,12 +142,17 @@ impl ReplicaNode {
                             _ => 0,
                         };
                         if old_enumber >= *enumber {
-                            self.vol.pending_epoch_prepare =
-                                Some((old_op, old_from, old_action));
+                            self.vol.pending_epoch_prepare = Some((old_op, old_from, old_action));
                             ctx.send(from, Msg::Vote { op, yes: false });
                             return;
                         }
-                        ctx.send(old_from, Msg::Vote { op: old_op, yes: false });
+                        ctx.send(
+                            old_from,
+                            Msg::Vote {
+                                op: old_op,
+                                yes: false,
+                            },
+                        );
                     }
                     self.vol.pending_epoch_prepare = Some((op, from, action));
                     return;

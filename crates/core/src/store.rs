@@ -110,6 +110,14 @@ impl PagedObject {
         self.pages = snapshot;
     }
 
+    /// Overwrites one page in place (journal replay). Out-of-range pages
+    /// are ignored, mirroring [`apply`](PagedObject::apply).
+    pub fn write_page(&mut self, p: PageId, contents: Bytes) {
+        if let Some(slot) = self.pages.get_mut(p as usize) {
+            *slot = contents;
+        }
+    }
+
     /// An order-sensitive FNV-1a digest over all pages, used by the
     /// consistency checker to compare replica contents cheaply.
     pub fn digest(&self) -> u64 {
@@ -140,7 +148,7 @@ pub struct LogEntry {
 }
 
 /// A bounded log of recent writes, ordered by version.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct WriteLog {
     entries: std::collections::VecDeque<LogEntry>,
     cap: usize,
@@ -192,6 +200,14 @@ impl WriteLog {
                 .cloned()
                 .collect(),
         )
+    }
+
+    /// Version of the newest retained entry, or 0 if empty. Together with
+    /// [`len`](WriteLog::len) this identifies the log's contents, because
+    /// versions are strictly increasing and entries are only appended or
+    /// trimmed from the front.
+    pub fn newest_version(&self) -> u64 {
+        self.entries.back().map_or(0, |e| e.version)
     }
 
     /// Clears the log (used when restoring from a snapshot).
@@ -271,7 +287,10 @@ mod tests {
             });
         }
         let ups = log.updates_since(2).unwrap();
-        assert_eq!(ups.iter().map(|e| e.version).collect::<Vec<_>>(), vec![3, 4, 5]);
+        assert_eq!(
+            ups.iter().map(|e| e.version).collect::<Vec<_>>(),
+            vec![3, 4, 5]
+        );
         assert_eq!(log.updates_since(5).unwrap(), vec![]);
         assert_eq!(log.updates_since(0).unwrap().len(), 5);
     }

@@ -20,12 +20,12 @@ use crate::msg::{Action, ClientRequest, FailReason, Msg, OpId, ProtocolEvent, St
 use crate::node::{NodeCtx, ReplicaNode, Timer};
 use crate::store::PartialWrite;
 use bytes::Bytes;
+use coterie_base::TimerId;
 use coterie_quorum::{quorum_seed, NodeId, NodeSet, QuorumKind};
-use coterie_simnet::TimerId;
 use std::collections::BTreeMap;
 
 /// Phase of a coordinated write.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub enum WPhase {
     /// Gathering permission-phase responses.
     Collect,
@@ -62,7 +62,7 @@ pub enum WPhase {
 }
 
 /// Volatile state of one coordinated write.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct WriteCoordinator {
     /// The operation id.
     pub op: OpId,
@@ -577,7 +577,10 @@ impl ReplicaNode {
             return;
         };
         let WPhase::FetchBase {
-            classified, targets, timer, ..
+            classified,
+            targets,
+            timer,
+            ..
         } = std::mem::replace(&mut wc.phase, WPhase::Collect)
         else {
             unreachable!();
@@ -655,14 +658,22 @@ impl ReplicaNode {
         };
         ctx.cancel_timer(timer);
         self.durable.decisions.insert(op, true);
-        for p in participants.iter().copied().chain(committed_optional.iter()) {
+        for p in participants
+            .iter()
+            .copied()
+            .chain(committed_optional.iter())
+        {
             ctx.send(p, Msg::Decision { op, commit: true });
         }
         let wc = self.vol.writes.remove(&op).expect("present");
         // Release any granted nodes that were not participants (heavy polls
         // can grant more than the quorum used).
         let participant_set = NodeSet::from_iter(participants.iter().copied());
-        for (&n, _) in wc.granted.iter().filter(|(n, _)| !participant_set.contains(**n)) {
+        for (&n, _) in wc
+            .granted
+            .iter()
+            .filter(|(n, _)| !participant_set.contains(**n))
+        {
             ctx.send(n, Msg::Release { op });
         }
         self.stats.writes_ok += 1;
@@ -728,7 +739,12 @@ impl ReplicaNode {
     /// Contention and commit races are retried with backoff; structural
     /// failures (no quorum, no current replica) are reported immediately,
     /// as the paper prescribes.
-    fn retry_or_fail_write(&mut self, ctx: &mut NodeCtx<'_>, wc: WriteCoordinator, reason: FailReason) {
+    fn retry_or_fail_write(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        wc: WriteCoordinator,
+        reason: FailReason,
+    ) {
         let retryable = matches!(reason, FailReason::Contention | FailReason::CommitFailed);
         if retryable && wc.attempt < self.config.max_retries {
             let delay = self.backoff(ctx, wc.attempt + 1);

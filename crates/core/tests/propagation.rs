@@ -24,10 +24,7 @@ fn run_with_config(config: ProtocolConfig, seed: u64, writes: u64) -> Sim<Replic
             NodeId((i % n as u64) as u32),
             ClientRequest::Write {
                 id: i,
-                write: PartialWrite::new([(
-                    (i % 4) as u16,
-                    Bytes::from(format!("payload-{i}")),
-                )]),
+                write: PartialWrite::new([((i % 4) as u16, Bytes::from(format!("payload-{i}")))]),
             },
         );
     }
@@ -93,9 +90,14 @@ fn paper_locking_mode_also_converges() {
 fn propagation_source_crash_does_not_leave_target_stuck() {
     let config = ProtocolConfig::new(Arc::new(GridCoterie::new()), 9);
     let n = 9;
-    let mut sim = Sim::new(n, SimConfig { seed: 4, ..Default::default() }, |id| {
-        ReplicaNode::new(id, config.clone())
-    });
+    let mut sim = Sim::new(
+        n,
+        SimConfig {
+            seed: 4,
+            ..Default::default()
+        },
+        |id| ReplicaNode::new(id, config.clone()),
+    );
     // A few writes to create stale marks and kick off propagation.
     for i in 0..6u64 {
         sim.schedule_external(
@@ -123,10 +125,14 @@ fn propagation_source_crash_does_not_leave_target_stuck() {
     }
     // System still writable.
     sim.take_outputs();
-    sim.schedule_external(sim.now(), NodeId(5), ClientRequest::Write {
-        id: 99,
-        write: PartialWrite::new([(1, Bytes::from_static(b"post"))]),
-    });
+    sim.schedule_external(
+        sim.now(),
+        NodeId(5),
+        ClientRequest::Write {
+            id: 99,
+            write: PartialWrite::new([(1, Bytes::from_static(b"post"))]),
+        },
+    );
     sim.run_for(SimDuration::from_secs(2));
     assert!(sim
         .take_outputs()
@@ -142,12 +148,19 @@ fn stale_replica_never_serves_reads() {
         // Disable propagation-by-delay so staleness persists during the test.
         .check_period(SimDuration::from_secs(600));
     let n = 9;
-    let mut sim = Sim::new(n, SimConfig { seed: 6, ..Default::default() }, |id| {
-        let mut cfg = config.clone();
-        cfg.propagation_retry = SimDuration::from_secs(600);
-        cfg.propagation_jitter = SimDuration::from_secs(600);
-        ReplicaNode::new(id, cfg)
-    });
+    let mut sim = Sim::new(
+        n,
+        SimConfig {
+            seed: 6,
+            ..Default::default()
+        },
+        |id| {
+            let mut cfg = config.clone();
+            cfg.propagation_retry = SimDuration::from_secs(600);
+            cfg.propagation_jitter = SimDuration::from_secs(600);
+            ReplicaNode::new(id, cfg)
+        },
+    );
     for i in 0..8u64 {
         sim.schedule_external(
             SimTime(i * 200_000),
@@ -167,7 +180,11 @@ fn stale_replica_never_serves_reads() {
     sim.take_outputs();
     // Reads from every coordinator all see version 8.
     for (j, reader) in (0..9u32).enumerate() {
-        sim.schedule_external(sim.now(), NodeId(reader), ClientRequest::Read { id: 100 + j as u64 });
+        sim.schedule_external(
+            sim.now(),
+            NodeId(reader),
+            ClientRequest::Read { id: 100 + j as u64 },
+        );
     }
     sim.run_for(SimDuration::from_secs(3));
     let evs = sim.take_outputs();
@@ -178,5 +195,8 @@ fn stale_replica_never_serves_reads() {
             reads += 1;
         }
     }
-    assert!(reads >= 7, "most reads should complete, got {reads}: {evs:?}");
+    assert!(
+        reads >= 7,
+        "most reads should complete, got {reads}: {evs:?}"
+    );
 }

@@ -118,7 +118,12 @@ fn sequential_writes_get_increasing_contiguous_versions() {
     let evs = events(&mut sim);
     let mut oks = write_oks(&evs);
     oks.sort_by_key(|&(_, v)| v);
-    assert_eq!(oks.len(), 20, "all writes should commit: {:?}", failures(&evs));
+    assert_eq!(
+        oks.len(),
+        20,
+        "all writes should commit: {:?}",
+        failures(&evs)
+    );
     for (i, &(_, v)) in oks.iter().enumerate() {
         assert_eq!(v as usize, i + 1, "versions must be contiguous");
     }
@@ -238,9 +243,14 @@ fn writes_survive_node_failures_via_epoch_change() {
 #[test]
 fn static_mode_blocks_when_a_column_dies() {
     let config = ProtocolConfig::new(Arc::new(GridCoterie::new()), 9).static_mode();
-    let mut sim = Sim::new(9, SimConfig { seed: 6, ..Default::default() }, |id| {
-        ReplicaNode::new(id, config.clone())
-    });
+    let mut sim = Sim::new(
+        9,
+        SimConfig {
+            seed: 6,
+            ..Default::default()
+        },
+        |id| ReplicaNode::new(id, config.clone()),
+    );
     for &v in &[1u32, 4, 7] {
         sim.crash_now(NodeId(v));
     }
@@ -338,15 +348,25 @@ fn crashed_node_recovers_and_is_reabsorbed() {
 fn rowa_reads_are_one_node_and_writes_touch_all() {
     let config = ProtocolConfig::new(Arc::new(RowaCoterie::new()), 4)
         .check_period(SimDuration::from_secs(2));
-    let mut sim = Sim::new(4, SimConfig { seed: 10, ..Default::default() }, |id| {
-        ReplicaNode::new(id, config.clone())
-    });
+    let mut sim = Sim::new(
+        4,
+        SimConfig {
+            seed: 10,
+            ..Default::default()
+        },
+        |id| ReplicaNode::new(id, config.clone()),
+    );
     sim.schedule_external(SimTime::ZERO, NodeId(1), write_req(0, 0, "w"));
     sim.run_for(SimDuration::from_secs(1));
     let evs = events(&mut sim);
     let oks = write_oks(&evs);
     assert_eq!(oks.len(), 1);
-    if let Some(ProtocolEvent::WriteOk { replicas_touched, .. }) = evs.iter().find(|e| matches!(e, ProtocolEvent::WriteOk { .. })) {
+    if let Some(ProtocolEvent::WriteOk {
+        replicas_touched, ..
+    }) = evs
+        .iter()
+        .find(|e| matches!(e, ProtocolEvent::WriteOk { .. }))
+    {
         assert_eq!(*replicas_touched, 4);
     }
     sim.schedule_external(sim.now(), NodeId(2), ClientRequest::Read { id: 1 });
@@ -360,7 +380,11 @@ fn concurrent_writes_serialize() {
     let mut sim = grid_cluster(9, 11);
     // Fire 6 writes at the same instant from different coordinators.
     for i in 0..6u64 {
-        sim.schedule_external(SimTime::ZERO, NodeId(i as u32), write_req(i, 0, &format!("c{i}")));
+        sim.schedule_external(
+            SimTime::ZERO,
+            NodeId(i as u32),
+            write_req(i, 0, &format!("c{i}")),
+        );
     }
     sim.run_for(SimDuration::from_secs(20));
     let evs = events(&mut sim);
@@ -413,7 +437,9 @@ fn write_failure_reported_when_too_few_nodes_up() {
     let evs = events(&mut sim);
     let fails = failures(&evs);
     assert!(
-        fails.iter().any(|&(id, r)| id == 1 && r == FailReason::NoQuorum),
+        fails
+            .iter()
+            .any(|&(id, r)| id == 1 && r == FailReason::NoQuorum),
         "write must fail with NoQuorum: {evs:?}"
     );
 }

@@ -5,9 +5,7 @@
 //! fencing of in-doubt transactions.
 
 use bytes::Bytes;
-use coterie_core::{
-    ClientRequest, Mode, PartialWrite, ProtocolConfig, ProtocolEvent, ReplicaNode,
-};
+use coterie_core::{ClientRequest, Mode, PartialWrite, ProtocolConfig, ProtocolEvent, ReplicaNode};
 use coterie_quorum::{GridCoterie, MajorityCoterie, NodeId};
 use coterie_simnet::{Sim, SimConfig, SimDuration, SimTime};
 use std::sync::Arc;
@@ -122,16 +120,24 @@ fn many_coordinator_crashes_never_wedge_the_system() {
         .map(|i| sim.node(NodeId(i)).durable.version)
         .max()
         .unwrap();
-    assert!(max_v >= 10, "most writes should have committed, got {max_v}");
+    assert!(
+        max_v >= 10,
+        "most writes should have committed, got {max_v}"
+    );
 }
 
 #[test]
 fn static_mode_never_runs_epoch_checks() {
     let config = ProtocolConfig::new(Arc::new(GridCoterie::new()), 4).static_mode();
     assert!(matches!(config.mode, Mode::Static));
-    let mut sim = Sim::new(4, SimConfig { seed: 4, ..Default::default() }, |id| {
-        ReplicaNode::new(id, config.clone())
-    });
+    let mut sim = Sim::new(
+        4,
+        SimConfig {
+            seed: 4,
+            ..Default::default()
+        },
+        |id| ReplicaNode::new(id, config.clone()),
+    );
     sim.crash_now(NodeId(3));
     sim.run_for(SimDuration::from_secs(30));
     for id in 0..3u32 {
@@ -148,9 +154,14 @@ fn safety_threshold_extras_receive_the_update() {
     let config = ProtocolConfig::new(Arc::new(GridCoterie::new()), 9)
         .check_period(SimDuration::from_secs(2))
         .safety(3);
-    let mut sim = Sim::new(9, SimConfig { seed: 5, ..Default::default() }, |id| {
-        ReplicaNode::new(id, config.clone())
-    });
+    let mut sim = Sim::new(
+        9,
+        SimConfig {
+            seed: 5,
+            ..Default::default()
+        },
+        |id| ReplicaNode::new(id, config.clone()),
+    );
     for i in 0..15u64 {
         sim.schedule_external(
             SimTime(i * 300_000),
@@ -163,13 +174,18 @@ fn safety_threshold_extras_receive_the_update() {
     let oks: Vec<usize> = evs
         .iter()
         .filter_map(|(_, _, e)| match e {
-            ProtocolEvent::WriteOk { replicas_touched, .. } => Some(*replicas_touched),
+            ProtocolEvent::WriteOk {
+                replicas_touched, ..
+            } => Some(*replicas_touched),
             _ => None,
         })
         .collect();
     assert_eq!(oks.len(), 15);
     // Count holders of the max version: must be >= 3.
-    let max_v = (0..9u32).map(|i| sim.node(NodeId(i)).durable.version).max().unwrap();
+    let max_v = (0..9u32)
+        .map(|i| sim.node(NodeId(i)).durable.version)
+        .max()
+        .unwrap();
     let holders = (0..9u32)
         .filter(|&i| sim.node(NodeId(i)).durable.version == max_v)
         .count();

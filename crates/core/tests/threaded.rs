@@ -52,8 +52,15 @@ fn writes_and_reads_commit_over_real_threads() {
     let deadline = std::time::Instant::now() + Duration::from_secs(10);
     let mut read_ok = false;
     while std::time::Instant::now() < deadline {
-        if let Some((_, ProtocolEvent::ReadOk { id: 99, version, pages, .. })) =
-            rt.recv_output(Duration::from_millis(200))
+        if let Some((
+            _,
+            ProtocolEvent::ReadOk {
+                id: 99,
+                version,
+                pages,
+                ..
+            },
+        )) = rt.recv_output(Duration::from_millis(200))
         {
             assert_eq!(version, 5);
             assert_eq!(pages[0], Bytes::from_static(b"w4"));

@@ -15,7 +15,10 @@ fn main() {
     println!("{}", figures::figure3(9));
     println!("{}", site_sim::render(horizon, reps, 7));
     println!("{}", quorum_sizes::render(&quorum_sizes::DEFAULT_NS));
-    println!("{}", load_sharing::render(9, if quick { 10 } else { 30 }, 21));
+    println!(
+        "{}",
+        load_sharing::render(9, if quick { 10 } else { 30 }, 21)
+    );
     println!(
         "{}",
         partial_writes::render(9, if quick { 15 } else { 30 }, 31, true)

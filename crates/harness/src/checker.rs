@@ -181,7 +181,10 @@ mod tests {
                 id,
                 at: SimTime(at),
                 coordinator: NodeId(0),
-                write: Some(PartialWrite::new([(0, Bytes::copy_from_slice(data.as_bytes()))])),
+                write: Some(PartialWrite::new([(
+                    0,
+                    Bytes::copy_from_slice(data.as_bytes()),
+                )])),
             },
         )
     }
@@ -227,7 +230,10 @@ mod tests {
     fn digest_after(writes: &[&str], n_pages: usize) -> u64 {
         let mut o = PagedObject::new(n_pages);
         for w in writes {
-            o.apply(&PartialWrite::new([(0, Bytes::copy_from_slice(w.as_bytes()))]));
+            o.apply(&PartialWrite::new([(
+                0,
+                Bytes::copy_from_slice(w.as_bytes()),
+            )]));
         }
         o.digest()
     }
@@ -282,12 +288,19 @@ mod tests {
             .into_iter()
             .collect();
         // Write acked at t=100, read issued at t=500 but returns v0.
-        let events = vec![write_ok(100, 1, 1), read_ok(600, 2, 0, digest_after(&[], 4))];
+        let events = vec![
+            write_ok(100, 1, 1),
+            read_ok(600, 2, 0, digest_after(&[], 4)),
+        ];
         let report = check_run(&issued, &events, 4);
-        assert!(report
-            .violations
-            .iter()
-            .any(|v| matches!(v, Violation::StaleRead { got: 0, needed: 1, .. })));
+        assert!(report.violations.iter().any(|v| matches!(
+            v,
+            Violation::StaleRead {
+                got: 0,
+                needed: 1,
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -296,7 +309,10 @@ mod tests {
             .into_iter()
             .collect();
         // Read issued before the write completed: either version is legal.
-        let events = vec![write_ok(100, 1, 1), read_ok(120, 2, 0, digest_after(&[], 4))];
+        let events = vec![
+            write_ok(100, 1, 1),
+            read_ok(120, 2, 0, digest_after(&[], 4)),
+        ];
         let report = check_run(&issued, &events, 4);
         assert!(report.consistent(), "{:?}", report.violations);
     }

@@ -40,9 +40,7 @@ pub fn compute(ns: &[usize], ps: &[f64]) -> Vec<DynCompareRow> {
                 static_grid: 1.0 - grid_write_availability(GridShape::define(n), p),
                 static_majority: 1.0 - majority_write_availability(n, p),
                 dynamic_grid: DynamicModel::grid(n, 1.0, mu).unavailability().unwrap(),
-                dynamic_voting: DynamicModel::majority(n, 1.0, mu)
-                    .unavailability()
-                    .unwrap(),
+                dynamic_voting: DynamicModel::majority(n, 1.0, mu).unavailability().unwrap(),
             });
         }
     }
@@ -54,7 +52,14 @@ pub fn render(ns: &[usize], ps: &[f64]) -> String {
     let rows = compute(ns, ps);
     let mut t = Table::new(
         "E11 - static vs dynamic, grid vs voting (write unavailability)",
-        &["N", "p", "static grid", "static majority", "dynamic grid", "dynamic voting"],
+        &[
+            "N",
+            "p",
+            "static grid",
+            "static majority",
+            "dynamic grid",
+            "dynamic voting",
+        ],
     );
     for r in &rows {
         t.row(&[

@@ -37,8 +37,14 @@ pub fn compute(
     let mu = p / (1.0 - p);
     let rule: Arc<dyn CoterieRule> = Arc::new(GridCoterie::new());
     let mut rows = Vec::new();
-    let ratios: [Option<f64>; 6] =
-        [Some(0.1), Some(0.5), Some(2.0), Some(10.0), Some(50.0), None];
+    let ratios: [Option<f64>; 6] = [
+        Some(0.1),
+        Some(0.5),
+        Some(2.0),
+        Some(10.0),
+        Some(50.0),
+        None,
+    ];
     for ratio in ratios {
         let config = SiteModelConfig {
             n,
@@ -88,7 +94,11 @@ mod tests {
         let rows = compute(9, 0.8, 6_000.0, 4, 17);
         // Compare the slowest and fastest finite rates and the limit.
         let slow = rows.first().unwrap();
-        let fast = rows.iter().rev().find(|r| r.check_over_lambda.is_some()).unwrap();
+        let fast = rows
+            .iter()
+            .rev()
+            .find(|r| r.check_over_lambda.is_some())
+            .unwrap();
         let instant = rows.last().unwrap();
         assert!(slow.unavailability > fast.unavailability, "{rows:?}");
         // The fast finite rate should approach the instantaneous limit

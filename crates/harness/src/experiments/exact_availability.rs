@@ -72,7 +72,14 @@ pub fn render(p: f64, horizon: f64, replications: usize, seed: u64) -> String {
     let rows = compute(p, horizon, replications, seed);
     let mut t = Table::new(
         format!("E10 - idealized Figure 3 model vs published grid rule, p = {p}"),
-        &["N", "idealized chain", "exact (paper rule)", "exact (tall rule)", "exact MC", "MC s.e."],
+        &[
+            "N",
+            "idealized chain",
+            "exact (paper rule)",
+            "exact (tall rule)",
+            "exact MC",
+            "MC s.e.",
+        ],
     );
     for r in &rows {
         t.row(&[

@@ -80,9 +80,7 @@ pub fn compute(n: usize, duration_secs: u64, seed: u64, churn: bool) -> Vec<Part
 pub fn render(n: usize, duration_secs: u64, seed: u64, churn: bool) -> String {
     let rows = compute(n, duration_secs, seed, churn);
     let mut t = Table::new(
-        format!(
-            "E8 - partial-write handling, N = {n}, churn = {churn}"
-        ),
+        format!("E8 - partial-write handling, N = {n}, churn = {churn}"),
         &[
             "mode",
             "write ok%",

@@ -63,7 +63,14 @@ pub fn render(ns: &[usize]) -> String {
     let rows = compute(ns);
     let mut t = Table::new(
         "E6 - quorum sizes by coterie rule",
-        &["N", "grid read", "grid write", "majority", "tree", "ROWA write"],
+        &[
+            "N",
+            "grid read",
+            "grid write",
+            "majority",
+            "tree",
+            "ROWA write",
+        ],
     );
     for r in &rows {
         t.row(&[

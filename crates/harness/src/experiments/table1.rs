@@ -137,7 +137,10 @@ mod tests {
     fn render_includes_all_rows() {
         let s = render(0.95);
         for n in TABLE1_N {
-            assert!(s.contains(&format!("\n{n} ")) || s.contains(&format!(" {n} ")), "{s}");
+            assert!(
+                s.contains(&format!("\n{n} ")) || s.contains(&format!(" {n} ")),
+                "{s}"
+            );
         }
         assert!(s.contains("negligible"));
     }

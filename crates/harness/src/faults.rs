@@ -108,8 +108,10 @@ impl FaultPlan {
         from: SimTime,
         until: SimTime,
     ) -> FaultPlan {
-        self.events
-            .push((from, FaultEvent::Partition(Partition::split(n_nodes, island))));
+        self.events.push((
+            from,
+            FaultEvent::Partition(Partition::split(n_nodes, island)),
+        ));
         self.events
             .push((until, FaultEvent::Partition(Partition::connected(n_nodes))));
         self.events.sort_by_key(|(t, _)| *t);

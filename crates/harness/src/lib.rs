@@ -1,5 +1,3 @@
-#![warn(missing_docs)]
-
 //! # coterie-harness
 //!
 //! Experiment infrastructure for the dynamic structured coterie
@@ -13,6 +11,7 @@
 
 pub mod checker;
 pub mod experiments;
+pub mod explore;
 pub mod faults;
 pub mod metrics;
 pub mod report;
@@ -21,6 +20,7 @@ pub mod sitemodel;
 pub mod workload;
 
 pub use checker::{check_run, CheckReport, Violation};
+pub use explore::{explore, ExploreReport, ExplorerConfig};
 pub use faults::{FaultConfig, FaultEvent, FaultPlan};
 pub use metrics::{LatencyStats, LoadStats};
 pub use report::{sci, to_json, Table};

@@ -96,7 +96,10 @@ impl ScenarioResult {
 /// Runs a scenario to completion.
 pub fn run_scenario(scenario: &Scenario) -> ScenarioResult {
     let n = scenario.protocol.n_replicas;
-    let protocol = scenario.protocol.clone();
+    // Thread the run seed into the engine: protocol jitter is drawn from
+    // the sans-I/O engine's own RNG, so distinct scenario seeds must reach
+    // it for runs to decorrelate.
+    let protocol = scenario.protocol.clone().rng_seed(scenario.sim.seed);
     let mut sim: Sim<ReplicaNode> = Sim::new(n, scenario.sim.clone(), |id| {
         ReplicaNode::new(id, protocol.clone())
     });

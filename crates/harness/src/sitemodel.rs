@@ -209,10 +209,7 @@ pub fn simulate(config: &SiteModelConfig) -> AvailabilityEstimate {
 
 /// Runs `replications` independent simulations and returns the mean
 /// unavailability plus its standard error.
-pub fn replicated_unavailability(
-    config: &SiteModelConfig,
-    replications: usize,
-) -> (f64, f64) {
+pub fn replicated_unavailability(config: &SiteModelConfig, replications: usize) -> (f64, f64) {
     assert!(replications >= 1);
     let run = |i: usize| {
         let mut c = config.clone();
@@ -251,10 +248,7 @@ pub fn replicated_unavailability(
         })
     };
     let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-    let var = samples
-        .iter()
-        .map(|s| (s - mean) * (s - mean))
-        .sum::<f64>()
+    let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>()
         / (samples.len().max(2) - 1) as f64;
     (mean, (var / samples.len() as f64).sqrt())
 }
@@ -283,7 +277,13 @@ mod tests {
     fn static_grid_mc_matches_closed_form() {
         // p = 0.6 (mu/lambda = 1.5) keeps unavailability large enough to
         // estimate accurately in a short run.
-        let c = cfg(9, 1.5, EpochDynamics::Static { rule: Arc::new(GridCoterie::new()) });
+        let c = cfg(
+            9,
+            1.5,
+            EpochDynamics::Static {
+                rule: Arc::new(GridCoterie::new()),
+            },
+        );
         let (mc, se) = replicated_unavailability(&c, 8);
         let exact = 1.0 - grid_write_availability(GridShape::define(9), 0.6);
         assert!(
@@ -294,7 +294,13 @@ mod tests {
 
     #[test]
     fn static_majority_mc_matches_closed_form() {
-        let c = cfg(5, 1.5, EpochDynamics::Static { rule: Arc::new(MajorityCoterie::new()) });
+        let c = cfg(
+            5,
+            1.5,
+            EpochDynamics::Static {
+                rule: Arc::new(MajorityCoterie::new()),
+            },
+        );
         let (mc, se) = replicated_unavailability(&c, 8);
         let exact = 1.0 - majority_write_availability(5, 0.6);
         assert!((mc - exact).abs() < 5.0 * se.max(1e-3), "{mc} vs {exact}");
@@ -325,7 +331,13 @@ mod tests {
 
     #[test]
     fn dynamic_beats_static_in_mc() {
-        let stat = cfg(9, 1.5, EpochDynamics::Static { rule: Arc::new(GridCoterie::new()) });
+        let stat = cfg(
+            9,
+            1.5,
+            EpochDynamics::Static {
+                rule: Arc::new(GridCoterie::new()),
+            },
+        );
         let dynm = cfg(9, 1.5, EpochDynamics::Idealized { min_epoch: 3 });
         let (us, _) = replicated_unavailability(&stat, 4);
         let (ud, _) = replicated_unavailability(&dynm, 4);
@@ -334,7 +346,13 @@ mod tests {
 
     #[test]
     fn slower_epoch_checking_hurts_availability() {
-        let mut fast = cfg(6, 1.5, EpochDynamics::Exact { rule: Arc::new(GridCoterie::new()) });
+        let mut fast = cfg(
+            6,
+            1.5,
+            EpochDynamics::Exact {
+                rule: Arc::new(GridCoterie::new()),
+            },
+        );
         fast.check_rate = Some(50.0);
         let mut slow = fast.clone();
         slow.check_rate = Some(0.2);

@@ -176,8 +176,14 @@ mod tests {
         let b = Workload::generate(&cfg, 3);
         assert_eq!(a.len(), b.len());
         assert_eq!(
-            a.ops.iter().map(|(t, n, _)| (t.micros(), n.0)).collect::<Vec<_>>(),
-            b.ops.iter().map(|(t, n, _)| (t.micros(), n.0)).collect::<Vec<_>>()
+            a.ops
+                .iter()
+                .map(|(t, n, _)| (t.micros(), n.0))
+                .collect::<Vec<_>>(),
+            b.ops
+                .iter()
+                .map(|(t, n, _)| (t.micros(), n.0))
+                .collect::<Vec<_>>()
         );
     }
 

@@ -66,7 +66,11 @@ impl<S: Clone + Eq + Hash + Debug> Ctmc<S> {
     pub fn to_dot(&self, highlight: impl Fn(&S) -> bool) -> String {
         let mut out = String::from("digraph ctmc {\n  rankdir=LR;\n");
         for (i, s) in self.states.iter().enumerate() {
-            let shape = if highlight(s) { "doublecircle" } else { "circle" };
+            let shape = if highlight(s) {
+                "doublecircle"
+            } else {
+                "circle"
+            };
             out.push_str(&format!("  s{i} [label=\"{s:?}\", shape={shape}];\n"));
         }
         for (i, j, r) in self.transitions() {

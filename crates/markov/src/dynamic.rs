@@ -1,7 +1,7 @@
 //! The paper's §6 availability model for dynamic (epoch-based) protocols:
 //! the Figure 3 state diagram, generalized over the minimum epoch size.
 //!
-//! Site-model assumptions (Paris [13], as adopted by the paper):
+//! Site-model assumptions (Paris \[13\], as adopted by the paper):
 //! 1. links are reliable — only sites fail;
 //! 2. failures and repairs are independent Poisson processes with rates
 //!    `lambda` and `mu`;
@@ -247,7 +247,10 @@ mod tests {
     #[test]
     fn with_p_matches_explicit_rates() {
         let a = DynamicModel::grid(9, 1.0, 19.0).unavailability().unwrap();
-        let b = DynamicModel::grid(9, 0.0, 0.0).with_p(P95).unavailability().unwrap();
+        let b = DynamicModel::grid(9, 0.0, 0.0)
+            .with_p(P95)
+            .unavailability()
+            .unwrap();
         assert!((a - b).abs() / a < 1e-12);
     }
 
@@ -256,7 +259,10 @@ mod tests {
         let mut prev = f64::INFINITY;
         for n in [4usize, 6, 9, 12, 15] {
             let u = grid_unavail(n);
-            assert!(u < prev, "unavailability should fall with N: {u:e} at N={n}");
+            assert!(
+                u < prev,
+                "unavailability should fall with N: {u:e} at N={n}"
+            );
             prev = u;
         }
     }
@@ -280,7 +286,9 @@ mod tests {
         // min_epoch = 2 blocks later than min_epoch = 3.
         for n in [5usize, 9] {
             let g = DynamicModel::grid(n, 1.0, 19.0).unavailability().unwrap();
-            let m = DynamicModel::majority(n, 1.0, 19.0).unavailability().unwrap();
+            let m = DynamicModel::majority(n, 1.0, 19.0)
+                .unavailability()
+                .unwrap();
             assert!(m < g, "N={n}: majority {m:e} vs grid {g:e}");
         }
     }

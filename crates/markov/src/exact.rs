@@ -45,12 +45,7 @@ impl ExactState {
 /// Builds the exact `(epoch, up-set)` chain for `rule` over `n` nodes with
 /// per-node failure rate `lambda` and repair rate `mu`. Restricted to
 /// `n <= 6` to keep the dense solve tractable.
-pub fn exact_chain(
-    rule: &dyn CoterieRule,
-    n: usize,
-    lambda: f64,
-    mu: f64,
-) -> Ctmc<ExactState> {
+pub fn exact_chain(rule: &dyn CoterieRule, n: usize, lambda: f64, mu: f64) -> Ctmc<ExactState> {
     assert!((1..=6).contains(&n), "exact chain limited to 6 nodes");
     assert!(lambda > 0.0 && mu > 0.0);
     let all = NodeSet::first_n(n);
@@ -65,11 +60,11 @@ pub fn exact_chain(
     // on every transition.
     let mut plans = PlanCache::new();
     let push = |b: &mut CtmcBuilder<ExactState>,
-                    queue: &mut VecDeque<ExactState>,
-                    seen: &mut std::collections::HashSet<ExactState>,
-                    from: ExactState,
-                    to: ExactState,
-                    rate: f64| {
+                queue: &mut VecDeque<ExactState>,
+                seen: &mut std::collections::HashSet<ExactState>,
+                from: ExactState,
+                to: ExactState,
+                rate: f64| {
         b.transition(from, to, rate);
         if seen.insert(to) {
             queue.push_back(to);

@@ -1,5 +1,3 @@
-#![warn(missing_docs)]
-
 //! # coterie-markov
 //!
 //! Availability analysis for the dynamic structured coterie protocol,

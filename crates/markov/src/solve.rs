@@ -30,7 +30,10 @@ impl std::fmt::Display for SolveError {
         match self {
             SolveError::Empty => write!(f, "chain has no states"),
             SolveError::Reducible(i) => {
-                write!(f, "chain is not irreducible (state index {i} is absorbing a class)")
+                write!(
+                    f,
+                    "chain is not irreducible (state index {i} is absorbing a class)"
+                )
             }
         }
     }
@@ -101,9 +104,7 @@ pub fn steady_state_power<S: Clone + Eq + Hash + Debug>(
     if n == 1 {
         return Ok(vec![1.0]);
     }
-    let max_exit = (0..n)
-        .map(|i| chain.exit_rate(i))
-        .fold(0.0f64, f64::max);
+    let max_exit = (0..n).map(|i| chain.exit_rate(i)).fold(0.0f64, f64::max);
     if max_exit <= 0.0 {
         return Err(SolveError::Reducible(0));
     }
@@ -198,7 +199,11 @@ mod tests {
         for i in 0..=k {
             let expect = rho.powi(i as i32) / norm;
             let idx = chain.states().iter().position(|&s| s == i).unwrap();
-            assert!(close(pi[idx], expect, 1e-12), "state {i}: {} vs {expect}", pi[idx]);
+            assert!(
+                close(pi[idx], expect, 1e-12),
+                "state {i}: {} vs {expect}",
+                pi[idx]
+            );
         }
     }
 
@@ -253,10 +258,7 @@ mod tests {
         let mut b = CtmcBuilder::new();
         b.transition("a", "b", 1.0); // b is absorbing
         let chain = b.build();
-        assert!(matches!(
-            stationary(&chain),
-            Err(SolveError::Reducible(_))
-        ));
+        assert!(matches!(stationary(&chain), Err(SolveError::Reducible(_))));
     }
 
     #[test]

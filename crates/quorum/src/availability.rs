@@ -22,11 +22,7 @@ pub fn exact_availability(rule: &dyn CoterieRule, view: &View, p: f64, kind: Quo
     assert!((0.0..=1.0).contains(&p), "p must be a probability");
     // Per-member bit positions, so an enumeration mask converts to the
     // view's NodeSet encoding with one table lookup per set bit.
-    let bits: Vec<u128> = view
-        .members()
-        .iter()
-        .map(|m| 1u128 << m.index())
-        .collect();
+    let bits: Vec<u128> = view.members().iter().map(|m| 1u128 << m.index()).collect();
     let q = 1.0 - p;
     // Precompute p^k q^(n-k) per popcount to avoid 2^N powf calls.
     let mut weight = vec![0.0f64; n + 1];
@@ -154,7 +150,7 @@ pub fn rowa_write_availability(n: usize, p: f64) -> f64 {
 /// Exhaustive search over the *exact-fit* grids `m × n = N`, returning the
 /// shape with the best (highest) write availability. This mirrors the
 /// "Best dimens." column of the paper's Table 1, which — following the
-/// original grid-protocol paper [3] — only considers grids without
+/// original grid-protocol paper \[3\] — only considers grids without
 /// unoccupied positions. See [`best_grid_allowing_holes`] for the wider
 /// search (which sometimes wins: a 4×5 grid with 4 holes beats 4×4 for
 /// N = 16 at p = 0.95, because short columns are easier to fully cover).
@@ -185,7 +181,11 @@ pub fn best_grid_allowing_holes(n_nodes: usize, p: f64) -> (GridShape, f64) {
             if m * n < n_nodes || m * n - n_nodes >= n {
                 continue;
             }
-            let shape = GridShape { m, n, b: m * n - n_nodes };
+            let shape = GridShape {
+                m,
+                n,
+                b: m * n - n_nodes,
+            };
             let a = grid_write_availability(shape, p);
             if best.is_none_or(|(_, ba)| a > ba) {
                 best = Some((shape, a));
@@ -212,11 +212,7 @@ fn binomial(n: usize, k: usize) -> f64 {
 pub fn minimal_quorums(rule: &dyn CoterieRule, view: &View, kind: QuorumKind) -> Vec<NodeSet> {
     let n = view.len();
     assert!(n <= 20, "minimal quorum enumeration is limited to 20 nodes");
-    let bits: Vec<u128> = view
-        .members()
-        .iter()
-        .map(|m| 1u128 << m.index())
-        .collect();
+    let bits: Vec<u128> = view.members().iter().map(|m| 1u128 << m.index()).collect();
     let plan = rule.compile(view);
     let scan_range = |lo: u32, hi: u32| {
         let mut quorums = Vec::new();
@@ -292,7 +288,11 @@ mod tests {
             (30, (5, 6), 135.90e-6),
         ];
         for (n_nodes, (m, n), expected_unavail) in cases {
-            let shape = GridShape { m, n, b: m * n - n_nodes };
+            let shape = GridShape {
+                m,
+                n,
+                b: m * n - n_nodes,
+            };
             let unavail = 1.0 - grid_write_availability(shape, P);
             assert!(
                 close(unavail, expected_unavail, 2e-3),

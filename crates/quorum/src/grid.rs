@@ -273,9 +273,7 @@ impl CoterieRule for GridCoterie {
             // "there exists j such that COLUMN[j] = {1..m} if j <= n-b, or
             // {1..m-1} otherwise" — i.e. some column is fully covered over
             // its physical positions.
-            QuorumKind::Write => {
-                (1..=shape.n).any(|j| col_count[j] == shape.column_height(j))
-            }
+            QuorumKind::Write => (1..=shape.n).any(|j| col_count[j] == shape.column_height(j)),
         }
     }
 

@@ -1,5 +1,3 @@
-#![warn(missing_docs)]
-
 //! # coterie-quorum
 //!
 //! Coterie rules over ordered node sets, as required by the dynamic

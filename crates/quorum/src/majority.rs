@@ -1,4 +1,4 @@
-//! Voting coteries with unit votes (Gifford [6]): majority quorums and
+//! Voting coteries with unit votes (Gifford \[6\]): majority quorums and
 //! general read/write threshold pairs with `r + w > N` and `2w > N`.
 
 use crate::node::{NodeSet, View};
@@ -23,7 +23,7 @@ pub enum WriteSize {
 /// Write quorums are any `w` nodes and read quorums any `r = N + 1 - w`
 /// nodes, which guarantees both intersection properties. This is the
 /// protocol the paper contrasts with structured coteries: "the voting
-/// protocol [6], where the quorum size in the simplest case is ⌊(N+1)/2⌋".
+/// protocol \[6\], where the quorum size in the simplest case is ⌊(N+1)/2⌋".
 #[derive(Clone, Copy, Debug)]
 pub struct VotingCoterie {
     write_size: WriteSize,

@@ -146,7 +146,12 @@ impl QuorumPlan {
 
     /// A compiled weighted-vote plan over `(member bit mask, weight)`
     /// pairs and per-kind vote thresholds.
-    pub fn weighted(view: &View, weights: Vec<(u128, u64)>, read_need: u64, write_need: u64) -> Self {
+    pub fn weighted(
+        view: &View,
+        weights: Vec<(u128, u64)>,
+        read_need: u64,
+        write_need: u64,
+    ) -> Self {
         QuorumPlan {
             view_set: view.set(),
             body: PlanBody::Weighted {
@@ -520,7 +525,9 @@ mod tests {
         assert!(cache.is_empty());
         let v9 = View::first_n(9);
         let v4 = View::first_n(4);
-        assert!(cache.plan_for(&rule, &v9).is_write_quorum(ids(&[0, 3, 6, 1, 2])));
+        assert!(cache
+            .plan_for(&rule, &v9)
+            .is_write_quorum(ids(&[0, 3, 6, 1, 2])));
         assert_eq!(cache.len(), 1);
         cache.plan_for(&rule, &v9);
         assert_eq!(cache.len(), 1);

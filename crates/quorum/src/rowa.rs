@@ -60,9 +60,7 @@ impl CoterieRule for RowaCoterie {
                 if members.is_empty() {
                     None
                 } else {
-                    Some(NodeSet::singleton(
-                        members[(seed as usize) % members.len()],
-                    ))
+                    Some(NodeSet::singleton(members[(seed as usize) % members.len()]))
                 }
             }
             QuorumKind::Write => {
@@ -118,7 +116,10 @@ mod tests {
         let r = RowaCoterie::new();
         let view = View::first_n(4);
         let picks: std::collections::HashSet<_> = (0..4)
-            .map(|s| r.pick_quorum(&view, view.set(), s, QuorumKind::Read).unwrap())
+            .map(|s| {
+                r.pick_quorum(&view, view.set(), s, QuorumKind::Read)
+                    .unwrap()
+            })
             .collect();
         assert_eq!(picks.len(), 4);
     }

@@ -1,4 +1,4 @@
-//! Hierarchical quorum consensus (Kumar, cited as [10] in the paper):
+//! Hierarchical quorum consensus (Kumar, cited as \[10\] in the paper):
 //! nodes are organized into a recursive hierarchy of groups and a quorum
 //! must satisfy a majority of subgroups at every level. Quorum sizes grow as
 //! roughly `N^0.63`, between the grid's `O(√N)` and voting's `O(N)`.
@@ -262,7 +262,11 @@ mod tests {
             .pick_quorum(&view, view.set(), 0, QuorumKind::Write)
             .unwrap();
         // Hierarchical quorum over 27 nodes needs 2*2*2 = 8 < 14 nodes.
-        assert!(q.len() <= 8, "expected compact tree quorum, got {}", q.len());
+        assert!(
+            q.len() <= 8,
+            "expected compact tree quorum, got {}",
+            q.len()
+        );
         assert!(t.is_write_quorum(&view, q));
     }
 

@@ -1,4 +1,4 @@
-//! Weighted voting (Gifford [6], Garcia-Molina & Barbara [8]): each node
+//! Weighted voting (Gifford \[6\], Garcia-Molina & Barbara \[8\]): each node
 //! carries a vote weight; a write quorum needs more than half the total view
 //! weight and a read quorum needs `total + 1 - w` votes.
 
@@ -7,7 +7,7 @@ use crate::plan::QuorumPlan;
 use crate::rule::{CoterieRule, QuorumKind};
 
 /// A weighted voting coterie. Nodes without an explicit weight get
-/// [`default_weight`](WeightedCoterie::default_weight) (1 by default).
+/// the default weight (1, see [`with_default_weight`](WeightedCoterie::with_default_weight)).
 ///
 /// Thresholds over a view with total weight `T`: write quorums gather
 /// `W = ⌊T/2⌋ + 1` votes and read quorums `R = T + 1 - W`, so `R + W > T`
@@ -194,7 +194,9 @@ mod tests {
         let c = WeightedCoterie::new([]).with_default_weight(0);
         let view = View::first_n(3);
         assert!(!c.is_write_quorum(&view, view.set()));
-        assert!(c.pick_quorum(&view, view.set(), 0, QuorumKind::Write).is_none());
+        assert!(c
+            .pick_quorum(&view, view.set(), 0, QuorumKind::Write)
+            .is_none());
     }
 
     #[test]
@@ -210,14 +212,10 @@ mod tests {
         // Without the heavy node, remaining weight is 6 = W: still possible.
         let mut alive = view.set();
         alive.remove(NodeId(0));
-        assert!(c
-            .pick_quorum(&view, alive, 0, QuorumKind::Write)
-            .is_some());
+        assert!(c.pick_quorum(&view, alive, 0, QuorumKind::Write).is_some());
         // Without nodes 0 and 1, weight is 4 < 6: impossible.
         alive.remove(NodeId(1));
-        assert!(c
-            .pick_quorum(&view, alive, 0, QuorumKind::Write)
-            .is_none());
+        assert!(c.pick_quorum(&view, alive, 0, QuorumKind::Write).is_none());
     }
 
     #[test]

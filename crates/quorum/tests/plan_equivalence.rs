@@ -6,8 +6,8 @@
 //! `includes_quorum` for plan evaluation without behavioral change.
 
 use coterie_quorum::{
-    CoterieRule, GridCoterie, MajorityCoterie, NodeId, NodeSet, PlanCache, QuorumKind,
-    RowaCoterie, TreeCoterie, View, VotingCoterie, WeightedCoterie, WriteSize,
+    CoterieRule, GridCoterie, MajorityCoterie, NodeId, NodeSet, PlanCache, QuorumKind, RowaCoterie,
+    TreeCoterie, View, VotingCoterie, WeightedCoterie, WriteSize,
 };
 use proptest::prelude::*;
 

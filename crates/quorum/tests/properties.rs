@@ -4,8 +4,8 @@
 //! non-contiguous node names, as arise after epoch changes.
 
 use coterie_quorum::{
-    CoterieRule, GridCoterie, GridShape, MajorityCoterie, NodeId, NodeSet, QuorumKind,
-    RowaCoterie, TreeCoterie, View, VotingCoterie, WeightedCoterie, WriteSize,
+    CoterieRule, GridCoterie, GridShape, MajorityCoterie, NodeId, NodeSet, QuorumKind, RowaCoterie,
+    TreeCoterie, View, VotingCoterie, WeightedCoterie, WriteSize,
 };
 use proptest::prelude::*;
 

@@ -6,9 +6,7 @@ use rand::rngs::StdRng;
 use rand::Rng;
 use std::fmt;
 
-/// Identifier of a pending timer, returned by [`Ctx::set_timer`].
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
-pub struct TimerId(pub u64);
+pub use coterie_base::TimerId;
 
 /// A node program hosted by the simulator.
 ///
@@ -57,9 +55,18 @@ pub trait Application: Sized {
 /// Side effects a handler may request; applied by the simulator after the
 /// handler returns (keeps handlers free of re-entrancy).
 pub(crate) enum Effect<A: Application> {
-    Send { to: NodeId, msg: A::Msg },
-    SetTimer { id: TimerId, delay: SimDuration, timer: A::Timer },
-    CancelTimer { id: TimerId },
+    Send {
+        to: NodeId,
+        msg: A::Msg,
+    },
+    SetTimer {
+        id: TimerId,
+        delay: SimDuration,
+        timer: A::Timer,
+    },
+    CancelTimer {
+        id: TimerId,
+    },
     Output(A::Output),
 }
 
@@ -109,6 +116,14 @@ impl<'a, A: Application> Ctx<'a, A> {
         *self.next_timer_id += 1;
         self.effects.push(Effect::SetTimer { id, delay, timer });
         id
+    }
+
+    /// Arms a timer under a caller-chosen id. Hosts use this to replay
+    /// timer effects from sans-I/O engines that allocate their own ids;
+    /// the id must be unique among this node's live timers (cancellation
+    /// is keyed by `(node, id)`).
+    pub fn set_timer_with_id(&mut self, id: TimerId, delay: SimDuration, timer: A::Timer) {
+        self.effects.push(Effect::SetTimer { id, delay, timer });
     }
 
     /// Cancels a pending timer. Canceling an already-fired or unknown timer

@@ -1,5 +1,3 @@
-#![warn(missing_docs)]
-
 //! # coterie-simnet
 //!
 //! A deterministic discrete-event simulator for fail-stop distributed
@@ -49,9 +47,9 @@
 //! ```
 
 pub mod app;
-pub mod threaded;
 pub mod network;
 pub mod sim;
+pub mod threaded;
 pub mod time;
 
 pub use app::{Application, Ctx, TimerId};

@@ -117,7 +117,9 @@ pub struct Sim<A: Application> {
     config: SimConfig,
     rng: StdRng,
     next_timer_id: u64,
-    canceled_timers: HashSet<TimerId>,
+    /// Canceled timers, keyed by `(node, id)`: sans-I/O applications
+    /// allocate timer ids per node, so the bare id is not globally unique.
+    canceled_timers: HashSet<(NodeId, TimerId)>,
     outputs: Vec<(SimTime, NodeId, A::Output)>,
     counters: NetCounters,
     effects_buf: Vec<Effect<A>>,
@@ -294,7 +296,7 @@ impl<A: Application> Sim<A> {
                 id,
                 timer,
             } => {
-                if self.canceled_timers.remove(&id) {
+                if self.canceled_timers.remove(&(node, id)) {
                     return true;
                 }
                 let slot = &self.nodes[node.index()];
@@ -402,10 +404,18 @@ impl<A: Application> Sim<A> {
                 Effect::SetTimer { id, delay, timer } => {
                     let boot = self.nodes[node.index()].boot;
                     let at = self.now + delay;
-                    self.push(at, EventKind::Timer { node, boot, id, timer });
+                    self.push(
+                        at,
+                        EventKind::Timer {
+                            node,
+                            boot,
+                            id,
+                            timer,
+                        },
+                    );
                 }
                 Effect::CancelTimer { id } => {
-                    self.canceled_timers.insert(id);
+                    self.canceled_timers.insert((node, id));
                 }
                 Effect::Output(out) => self.outputs.push((self.now, node, out)),
             }
@@ -419,7 +429,14 @@ impl<A: Application> Sim<A> {
         if to.index() >= self.nodes.len() {
             // Unknown target: immediate CallFailed after the notice delay.
             let at = self.now + self.config.net.fail_notice_delay;
-            self.push(at, EventKind::CallFailed { sender: from, to, msg });
+            self.push(
+                at,
+                EventKind::CallFailed {
+                    sender: from,
+                    to,
+                    msg,
+                },
+            );
             return;
         }
         let latency = if from == to {
@@ -444,7 +461,14 @@ impl<A: Application> Sim<A> {
                 }
             }
             let at = self.now + self.config.net.fail_notice_delay;
-            self.push(at, EventKind::CallFailed { sender: from, to, msg });
+            self.push(
+                at,
+                EventKind::CallFailed {
+                    sender: from,
+                    to,
+                    msg,
+                },
+            );
             return;
         };
         let at = self.now + latency;

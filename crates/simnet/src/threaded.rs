@@ -186,9 +186,17 @@ where
                 let mut boot: u64 = 0;
                 let mut effects: Vec<Effect<A>> = Vec::new();
                 // Boot.
-                run_callback(&shared, &out_tx, me, boot, &mut rng, &mut next_timer_id, &mut effects, |app, ctx| {
-                    app.on_start(ctx)
-                }, &mut app);
+                run_callback(
+                    &shared,
+                    &out_tx,
+                    me,
+                    boot,
+                    &mut rng,
+                    &mut next_timer_id,
+                    &mut effects,
+                    |app, ctx| app.on_start(ctx),
+                    &mut app,
+                );
                 while let Ok(input) = rx.recv() {
                     let up = shared.up[me.index()].load(Ordering::Acquire);
                     match input {
@@ -203,16 +211,32 @@ where
                         Input::Recover => {
                             if !up {
                                 shared.up[me.index()].store(true, Ordering::Release);
-                                run_callback(&shared, &out_tx, me, boot, &mut rng, &mut next_timer_id, &mut effects, |app, ctx| {
-                                    app.on_start(ctx)
-                                }, &mut app);
+                                run_callback(
+                                    &shared,
+                                    &out_tx,
+                                    me,
+                                    boot,
+                                    &mut rng,
+                                    &mut next_timer_id,
+                                    &mut effects,
+                                    |app, ctx| app.on_start(ctx),
+                                    &mut app,
+                                );
                             }
                         }
                         Input::Msg { from, msg } => {
                             if up {
-                                run_callback(&shared, &out_tx, me, boot, &mut rng, &mut next_timer_id, &mut effects, |app, ctx| {
-                                    app.on_message(ctx, from, msg)
-                                }, &mut app);
+                                run_callback(
+                                    &shared,
+                                    &out_tx,
+                                    me,
+                                    boot,
+                                    &mut rng,
+                                    &mut next_timer_id,
+                                    &mut effects,
+                                    |app, ctx| app.on_message(ctx, from, msg),
+                                    &mut app,
+                                );
                             } else {
                                 // The host bounces on behalf of the dead
                                 // node after the RPC notice delay.
@@ -222,23 +246,47 @@ where
                         }
                         Input::CallFailed { to, msg } => {
                             if up {
-                                run_callback(&shared, &out_tx, me, boot, &mut rng, &mut next_timer_id, &mut effects, |app, ctx| {
-                                    app.on_call_failed(ctx, to, msg)
-                                }, &mut app);
+                                run_callback(
+                                    &shared,
+                                    &out_tx,
+                                    me,
+                                    boot,
+                                    &mut rng,
+                                    &mut next_timer_id,
+                                    &mut effects,
+                                    |app, ctx| app.on_call_failed(ctx, to, msg),
+                                    &mut app,
+                                );
                             }
                         }
                         Input::Timer { boot: tb, timer } => {
                             if up && tb == boot {
-                                run_callback(&shared, &out_tx, me, boot, &mut rng, &mut next_timer_id, &mut effects, |app, ctx| {
-                                    app.on_timer(ctx, timer)
-                                }, &mut app);
+                                run_callback(
+                                    &shared,
+                                    &out_tx,
+                                    me,
+                                    boot,
+                                    &mut rng,
+                                    &mut next_timer_id,
+                                    &mut effects,
+                                    |app, ctx| app.on_timer(ctx, timer),
+                                    &mut app,
+                                );
                             }
                         }
                         Input::External(ext) => {
                             if up {
-                                run_callback(&shared, &out_tx, me, boot, &mut rng, &mut next_timer_id, &mut effects, |app, ctx| {
-                                    app.on_external(ctx, ext)
-                                }, &mut app);
+                                run_callback(
+                                    &shared,
+                                    &out_tx,
+                                    me,
+                                    boot,
+                                    &mut rng,
+                                    &mut next_timer_id,
+                                    &mut effects,
+                                    |app, ctx| app.on_external(ctx, ext),
+                                    &mut app,
+                                );
                             }
                         }
                     }

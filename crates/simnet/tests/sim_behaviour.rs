@@ -81,7 +81,14 @@ fn new_sim(n: usize) -> Sim<Probe> {
 #[test]
 fn messages_are_delivered_with_latency() {
     let mut sim = new_sim(2);
-    sim.schedule_external(SimTime::ZERO, NodeId(0), Cmd::Send { to: NodeId(1), tag: 7 });
+    sim.schedule_external(
+        SimTime::ZERO,
+        NodeId(0),
+        Cmd::Send {
+            to: NodeId(1),
+            tag: 7,
+        },
+    );
     sim.run_for(SimDuration::from_secs(1));
     assert_eq!(sim.node(NodeId(1)).received, vec![(NodeId(0), 7)]);
     let outs = sim.take_outputs();
@@ -99,7 +106,14 @@ fn messages_are_delivered_with_latency() {
 fn send_to_down_node_bounces_as_call_failed() {
     let mut sim = new_sim(2);
     sim.crash_now(NodeId(1));
-    sim.schedule_external(SimTime::ZERO, NodeId(0), Cmd::Send { to: NodeId(1), tag: 9 });
+    sim.schedule_external(
+        SimTime::ZERO,
+        NodeId(0),
+        Cmd::Send {
+            to: NodeId(1),
+            tag: 9,
+        },
+    );
     sim.run_for(SimDuration::from_secs(1));
     assert_eq!(sim.node(NodeId(0)).failures, vec![NodeId(1)]);
     assert_eq!(sim.counters().failed, 1);
@@ -110,7 +124,14 @@ fn send_to_down_node_bounces_as_call_failed() {
 fn crash_during_flight_bounces_message() {
     let mut sim = new_sim(2);
     // Crash node 1 a moment after the send, before the ~0.5-2 ms delivery.
-    sim.schedule_external(SimTime::ZERO, NodeId(0), Cmd::Send { to: NodeId(1), tag: 3 });
+    sim.schedule_external(
+        SimTime::ZERO,
+        NodeId(0),
+        Cmd::Send {
+            to: NodeId(1),
+            tag: 3,
+        },
+    );
     sim.schedule_crash(SimTime(1), NodeId(1));
     sim.run_for(SimDuration::from_secs(1));
     assert_eq!(sim.node(NodeId(0)).failures, vec![NodeId(1)]);
@@ -120,7 +141,14 @@ fn crash_during_flight_bounces_message() {
 #[test]
 fn crash_wipes_volatile_keeps_durable_and_recovery_restarts() {
     let mut sim = new_sim(2);
-    sim.schedule_external(SimTime::ZERO, NodeId(0), Cmd::Send { to: NodeId(1), tag: 1 });
+    sim.schedule_external(
+        SimTime::ZERO,
+        NodeId(0),
+        Cmd::Send {
+            to: NodeId(1),
+            tag: 1,
+        },
+    );
     sim.run_for(SimDuration::from_millis(100));
     assert_eq!(sim.node(NodeId(1)).received.len(), 1);
     assert_eq!(sim.node(NodeId(1)).started, 1);
@@ -150,12 +178,29 @@ fn double_crash_and_double_recover_are_idempotent() {
 #[test]
 fn timers_fire_in_order_and_cancel_works() {
     let mut sim = new_sim(1);
-    sim.schedule_external(SimTime::ZERO, NodeId(0), Cmd::Arm { tag: 2, delay_ms: 20 });
-    sim.schedule_external(SimTime::ZERO, NodeId(0), Cmd::Arm { tag: 1, delay_ms: 10 });
     sim.schedule_external(
         SimTime::ZERO,
         NodeId(0),
-        Cmd::ArmThenCancel { tag: 99, delay_ms: 5 },
+        Cmd::Arm {
+            tag: 2,
+            delay_ms: 20,
+        },
+    );
+    sim.schedule_external(
+        SimTime::ZERO,
+        NodeId(0),
+        Cmd::Arm {
+            tag: 1,
+            delay_ms: 10,
+        },
+    );
+    sim.schedule_external(
+        SimTime::ZERO,
+        NodeId(0),
+        Cmd::ArmThenCancel {
+            tag: 99,
+            delay_ms: 5,
+        },
     );
     sim.run_for(SimDuration::from_secs(1));
     assert_eq!(sim.node(NodeId(0)).timer_fired, vec![1, 2]);
@@ -164,7 +209,14 @@ fn timers_fire_in_order_and_cancel_works() {
 #[test]
 fn timers_do_not_survive_crash() {
     let mut sim = new_sim(1);
-    sim.schedule_external(SimTime::ZERO, NodeId(0), Cmd::Arm { tag: 5, delay_ms: 50 });
+    sim.schedule_external(
+        SimTime::ZERO,
+        NodeId(0),
+        Cmd::Arm {
+            tag: 5,
+            delay_ms: 50,
+        },
+    );
     sim.schedule_crash(SimTime(10_000), NodeId(0));
     sim.schedule_recover(SimTime(20_000), NodeId(0));
     sim.run_for(SimDuration::from_secs(1));
@@ -178,8 +230,22 @@ fn timers_do_not_survive_crash() {
 fn partitions_block_and_heal() {
     let mut sim = new_sim(4);
     sim.set_partition_now(Partition::split(4, &[NodeId(2), NodeId(3)]));
-    sim.schedule_external(SimTime::ZERO, NodeId(0), Cmd::Send { to: NodeId(2), tag: 1 });
-    sim.schedule_external(SimTime::ZERO, NodeId(0), Cmd::Send { to: NodeId(1), tag: 2 });
+    sim.schedule_external(
+        SimTime::ZERO,
+        NodeId(0),
+        Cmd::Send {
+            to: NodeId(2),
+            tag: 1,
+        },
+    );
+    sim.schedule_external(
+        SimTime::ZERO,
+        NodeId(0),
+        Cmd::Send {
+            to: NodeId(1),
+            tag: 2,
+        },
+    );
     sim.run_for(SimDuration::from_millis(100));
     assert_eq!(sim.node(NodeId(0)).failures, vec![NodeId(2)]);
     assert_eq!(sim.node(NodeId(1)).received, vec![(NodeId(0), 2)]);
@@ -187,7 +253,14 @@ fn partitions_block_and_heal() {
     // Heal and retry.
     sim.set_partition_now(Partition::connected(4));
     let t = sim.now();
-    sim.schedule_external(t, NodeId(0), Cmd::Send { to: NodeId(2), tag: 3 });
+    sim.schedule_external(
+        t,
+        NodeId(0),
+        Cmd::Send {
+            to: NodeId(2),
+            tag: 3,
+        },
+    );
     sim.run_for(SimDuration::from_millis(100));
     assert_eq!(sim.node(NodeId(2)).received, vec![(NodeId(0), 3)]);
 }
@@ -195,7 +268,14 @@ fn partitions_block_and_heal() {
 #[test]
 fn self_send_works() {
     let mut sim = new_sim(1);
-    sim.schedule_external(SimTime::ZERO, NodeId(0), Cmd::Send { to: NodeId(0), tag: 4 });
+    sim.schedule_external(
+        SimTime::ZERO,
+        NodeId(0),
+        Cmd::Send {
+            to: NodeId(0),
+            tag: 4,
+        },
+    );
     sim.run_for(SimDuration::from_millis(10));
     assert_eq!(sim.node(NodeId(0)).received, vec![(NodeId(0), 4)]);
 }
@@ -204,7 +284,14 @@ fn self_send_works() {
 fn externals_at_down_nodes_are_dropped() {
     let mut sim = new_sim(2);
     sim.crash_now(NodeId(0));
-    sim.schedule_external(SimTime::ZERO, NodeId(0), Cmd::Send { to: NodeId(1), tag: 8 });
+    sim.schedule_external(
+        SimTime::ZERO,
+        NodeId(0),
+        Cmd::Send {
+            to: NodeId(1),
+            tag: 8,
+        },
+    );
     sim.run_for(SimDuration::from_secs(1));
     assert_eq!(sim.counters().sent, 0);
     assert!(sim.node(NodeId(1)).received.is_empty());
@@ -258,10 +345,20 @@ fn counters_track_per_node_traffic() {
         sim.schedule_external(
             SimTime(i * 100),
             NodeId(0),
-            Cmd::Send { to: NodeId(1), tag: i as u32 },
+            Cmd::Send {
+                to: NodeId(1),
+                tag: i as u32,
+            },
         );
     }
-    sim.schedule_external(SimTime::ZERO, NodeId(2), Cmd::Send { to: NodeId(1), tag: 9 });
+    sim.schedule_external(
+        SimTime::ZERO,
+        NodeId(2),
+        Cmd::Send {
+            to: NodeId(1),
+            tag: 9,
+        },
+    );
     sim.run_for(SimDuration::from_secs(1));
     let c = sim.counters();
     assert_eq!(c.sent_by[0], 5);

@@ -9,7 +9,10 @@ use dyncoterie::quorum::availability::best_static_grid;
 
 fn main() {
     println!("Table 1 (p = 0.95, mu/lambda = 19):\n");
-    println!("{:>4} {:>10} {:>16} {:>16} {:>10}", "N", "best dims", "static unavail", "dynamic unavail", "ratio");
+    println!(
+        "{:>4} {:>10} {:>16} {:>16} {:>10}",
+        "N", "best dims", "static unavail", "dynamic unavail", "ratio"
+    );
     for n in [9usize, 12, 15, 16, 20, 24, 30] {
         let (shape, avail) = best_static_grid(n, 0.95);
         let static_u = 1.0 - avail;
@@ -22,7 +25,10 @@ fn main() {
     }
 
     println!("\nsweep over node availability p (N = 9):\n");
-    println!("{:>6} {:>16} {:>16}", "p", "static unavail", "dynamic unavail");
+    println!(
+        "{:>6} {:>16} {:>16}",
+        "p", "static unavail", "dynamic unavail"
+    );
     for p in [0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99] {
         let (_, avail) = best_static_grid(9, p);
         let dynamic_u = DynamicModel::grid(9, 0.0, 0.0)

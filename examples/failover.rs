@@ -9,7 +9,9 @@
 //! Run with: `cargo run --example failover`
 
 use bytes::Bytes;
-use dyncoterie::protocol::{ClientRequest, PartialWrite, ProtocolConfig, ProtocolEvent, ReplicaNode};
+use dyncoterie::protocol::{
+    ClientRequest, PartialWrite, ProtocolConfig, ProtocolEvent, ReplicaNode,
+};
 use dyncoterie::quorum::{GridCoterie, NodeId};
 use dyncoterie::simnet::{Partition, Sim, SimConfig, SimDuration, SimTime};
 use std::sync::Arc;
@@ -72,8 +74,18 @@ fn main() {
     sim.take_outputs();
     let minority_ok = write(&mut sim, 100, 0);
     let majority_ok = write(&mut sim, 101, 1);
-    println!("  write at isolated node 0: {}", if minority_ok { "COMMITTED (!)" } else { "failed, as it must" });
-    println!("  write at connected node 1: {}", if majority_ok { "COMMITTED" } else { "failed" });
+    println!(
+        "  write at isolated node 0: {}",
+        if minority_ok {
+            "COMMITTED (!)"
+        } else {
+            "failed, as it must"
+        }
+    );
+    println!(
+        "  write at connected node 1: {}",
+        if majority_ok { "COMMITTED" } else { "failed" }
+    );
     assert!(!minority_ok, "safety: the singleton side must not commit");
 
     // Heal and recover everyone: the epoch re-expands and all replicas

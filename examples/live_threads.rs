@@ -9,7 +9,9 @@
 //! Run with: `cargo run --release --example live_threads`
 
 use bytes::Bytes;
-use dyncoterie::protocol::{ClientRequest, PartialWrite, ProtocolConfig, ProtocolEvent, ReplicaNode};
+use dyncoterie::protocol::{
+    ClientRequest, PartialWrite, ProtocolConfig, ProtocolEvent, ReplicaNode,
+};
 use dyncoterie::quorum::{GridCoterie, NodeId};
 use dyncoterie::simnet::{SimDuration, ThreadedRuntime};
 use std::sync::Arc;
@@ -77,8 +79,12 @@ fn main() {
     );
     let deadline = Instant::now() + Duration::from_secs(5);
     while Instant::now() < deadline {
-        if let Some((_, ProtocolEvent::WriteOk { id: 100, version, .. })) =
-            rt.recv_output(Duration::from_millis(100))
+        if let Some((
+            _,
+            ProtocolEvent::WriteOk {
+                id: 100, version, ..
+            },
+        )) = rt.recv_output(Duration::from_millis(100))
         {
             println!(
                 "  [{:>7.3?}] post-crash write committed at v{version}",

@@ -9,7 +9,9 @@
 //! Run with: `cargo run --example partial_writes`
 
 use bytes::Bytes;
-use dyncoterie::protocol::{ClientRequest, PartialWrite, ProtocolConfig, ProtocolEvent, ReplicaNode};
+use dyncoterie::protocol::{
+    ClientRequest, PartialWrite, ProtocolConfig, ProtocolEvent, ReplicaNode,
+};
 use dyncoterie::quorum::{GridCoterie, NodeId};
 use dyncoterie::simnet::{Sim, SimConfig, SimDuration, SimTime};
 use std::sync::Arc;
@@ -42,7 +44,12 @@ fn main() {
     let mut propagations = 0usize;
     for (t, node, event) in sim.take_outputs() {
         match event {
-            ProtocolEvent::WriteOk { id, version, replicas_touched, marked_stale } => {
+            ProtocolEvent::WriteOk {
+                id,
+                version,
+                replicas_touched,
+                marked_stale,
+            } => {
                 marked_total += marked_stale;
                 println!(
                     "[{t}] write #{id} -> v{version}: quorum of {replicas_touched}, {marked_stale} marked stale"
@@ -50,7 +57,9 @@ fn main() {
             }
             ProtocolEvent::Propagated { target, version } => {
                 propagations += 1;
-                println!("[{t}] {node:?} propagated missing updates to {target:?} (now v{version})");
+                println!(
+                    "[{t}] {node:?} propagated missing updates to {target:?} (now v{version})"
+                );
             }
             _ => {}
         }

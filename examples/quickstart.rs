@@ -7,7 +7,9 @@
 //! Run with: `cargo run --example quickstart`
 
 use bytes::Bytes;
-use dyncoterie::protocol::{ClientRequest, PartialWrite, ProtocolConfig, ProtocolEvent, ReplicaNode};
+use dyncoterie::protocol::{
+    ClientRequest, PartialWrite, ProtocolConfig, ProtocolEvent, ReplicaNode,
+};
 use dyncoterie::quorum::{GridCoterie, NodeId};
 use dyncoterie::simnet::{Sim, SimConfig, SimDuration, SimTime};
 use std::sync::Arc;
@@ -39,10 +41,17 @@ fn main() {
 
     for (t, node, event) in sim.take_outputs() {
         match event {
-            ProtocolEvent::WriteOk { id, version, replicas_touched, marked_stale } => {
+            ProtocolEvent::WriteOk {
+                id,
+                version,
+                replicas_touched,
+                marked_stale,
+            } => {
                 println!("[{t}] write #{id} committed at version {version} (touched {replicas_touched} replicas, marked {marked_stale} stale) via {node:?}")
             }
-            ProtocolEvent::ReadOk { id, version, pages, .. } => println!(
+            ProtocolEvent::ReadOk {
+                id, version, pages, ..
+            } => println!(
                 "[{t}] read #{id} -> version {version}, page 0 = {:?}",
                 String::from_utf8_lossy(&pages[0])
             ),
@@ -57,7 +66,10 @@ fn main() {
     sim.run_for(SimDuration::from_secs(8));
     for (t, node, event) in sim.take_outputs() {
         if let ProtocolEvent::EpochInstalled { enumber, members } = event {
-            println!("[{t}] {node:?} installed epoch #{enumber} with {} members", members.len());
+            println!(
+                "[{t}] {node:?} installed epoch #{enumber} with {} members",
+                members.len()
+            );
         }
     }
 

@@ -14,7 +14,9 @@
 //! Run with: `cargo run --release --example repl`
 
 use bytes::Bytes;
-use dyncoterie::protocol::{ClientRequest, PartialWrite, ProtocolConfig, ProtocolEvent, ReplicaNode};
+use dyncoterie::protocol::{
+    ClientRequest, PartialWrite, ProtocolConfig, ProtocolEvent, ReplicaNode,
+};
 use dyncoterie::quorum::{GridCoterie, NodeId};
 use dyncoterie::simnet::{SimDuration, ThreadedRuntime};
 use std::io::{BufRead, Write as _};
@@ -91,7 +93,9 @@ fn main() {
                 _ => println!("usage: recover <0..{}>", N - 1),
             },
             [] => {}
-            _ => println!("commands: write <page> <text> | read | crash <id> | recover <id> | quit"),
+            _ => {
+                println!("commands: write <page> <text> | read | crash <id> | recover <id> | quit")
+            }
         }
     }
     println!("shutting down ...");

@@ -1,5 +1,3 @@
-#![warn(missing_docs)]
-
 //! # dyncoterie
 //!
 //! Facade crate for the reproduction of Rabinovich & Lazowska, *"Improving
@@ -18,8 +16,8 @@
 //! See `examples/quickstart.rs` for an end-to-end tour and DESIGN.md for
 //! the system inventory.
 
+pub use coterie_core as protocol;
 pub use coterie_harness as harness;
 pub use coterie_markov as markov;
-pub use coterie_core as protocol;
 pub use coterie_quorum as quorum;
 pub use coterie_simnet as simnet;

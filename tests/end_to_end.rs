@@ -200,7 +200,10 @@ fn partition_heal_with_dueling_epoch_coordinators() {
         |id| ReplicaNode::new(id, protocol.clone()),
     );
     // Partition {3,4} away, let the majority shrink its epoch.
-    sim.schedule_partition(SimTime(500_000), Partition::split(n, &[NodeId(3), NodeId(4)]));
+    sim.schedule_partition(
+        SimTime(500_000),
+        Partition::split(n, &[NodeId(3), NodeId(4)]),
+    );
     sim.run_for(SimDuration::from_secs(8));
     assert_eq!(sim.node(NodeId(0)).durable.elist.len(), 3);
     // The minority must still be on the old epoch.
