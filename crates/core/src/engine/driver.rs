@@ -322,28 +322,26 @@ fn canonical_node(out: &mut String, node: &ReplicaNode) {
         d.op_counter,
         d.last_good,
     );
-    let mut decisions: Vec<_> = d.decisions.iter().map(|(op, c)| (*op, *c)).collect();
-    decisions.sort_unstable_by_key(|(op, _)| *op);
+    // Durable/Volatile keyed state lives in BTree collections, so plain
+    // iteration is already in canonical (ascending-key) order.
+    let decisions: Vec<_> = d.decisions.iter().map(|(op, c)| (*op, *c)).collect();
     let _ = write!(out, "dec={decisions:?};");
 
     let v = &node.vol;
     let _ = write!(out, "lock={:?},", v.lock.exclusive_holder());
-    let mut shared: Vec<_> = v.lock.shared_holders().collect();
-    shared.sort_unstable();
+    let shared: Vec<_> = v.lock.shared_holders().collect();
     let _ = write!(out, "shared={shared:?};");
-    let mut leases: Vec<_> = v.lock_leases.iter().map(|(op, id)| (*op, id.0)).collect();
-    leases.sort_unstable();
+    let leases: Vec<_> = v.lock_leases.iter().map(|(op, id)| (*op, id.0)).collect();
     let _ = write!(out, "leases={leases:?};");
     sorted_map(out, "writes", &v.writes);
     sorted_map(out, "reads", &v.reads);
     sorted_map(out, "epochs", &v.epochs);
-    let mut attempts: Vec<_> = v
+    let attempts: Vec<_> = v
         .propagator
         .attempts
         .iter()
         .map(|(n, a)| (*n, *a))
         .collect();
-    attempts.sort_unstable();
     let _ = write!(
         out,
         "prop=({:?},{:?},{attempts:?},{});inc={:?};pep={:?};",
@@ -353,8 +351,7 @@ fn canonical_node(out: &mut String, node: &ReplicaNode) {
         v.incoming_prop,
         v.pending_epoch_prepare,
     );
-    let mut retry: Vec<_> = v.decision_retry_armed.iter().copied().collect();
-    retry.sort_unstable();
+    let retry: Vec<_> = v.decision_retry_armed.iter().copied().collect();
     let _ = write!(
         out,
         "eck=({:?},{},{});dra={retry:?};elec={:?};seq={};rng={:?};",
@@ -370,10 +367,10 @@ fn canonical_node(out: &mut String, node: &ReplicaNode) {
 fn sorted_map<V: std::fmt::Debug>(
     out: &mut String,
     label: &str,
-    map: &std::collections::HashMap<crate::msg::OpId, V>,
+    map: &std::collections::BTreeMap<crate::msg::OpId, V>,
 ) {
-    let mut entries: Vec<_> = map.iter().collect();
-    entries.sort_unstable_by_key(|(op, _)| **op);
+    // BTreeMap iterates in key order, so the rendering is canonical as-is.
+    let entries: Vec<_> = map.iter().collect();
     let _ = write!(out, "{label}={entries:?};");
 }
 

@@ -82,6 +82,7 @@ impl DurableDelta {
         for p in 0..new.object.n_pages() as PageId {
             let (o, n) = (old.object.page(p), new.object.page(p));
             if o != n {
+                // lint:allow(panic): p < n_pages, and old/new page counts are equal
                 d.pages.push((p, n.expect("page in range").clone()));
             }
         }
@@ -93,13 +94,14 @@ impl DurableDelta {
             d.prepared = Some(new.prepared.clone());
         }
         if new.decisions.len() != old.decisions.len() {
-            let mut added: Vec<(OpId, bool)> = new
+            // `decisions` is a BTreeMap, so the filtered additions come
+            // out already sorted by op id — the order the journal records.
+            let added: Vec<(OpId, bool)> = new
                 .decisions
                 .iter()
                 .filter(|(op, _)| !old.decisions.contains_key(op))
                 .map(|(op, commit)| (*op, *commit))
                 .collect();
-            added.sort_unstable_by_key(|(op, _)| *op);
             debug_assert_eq!(
                 added.len() + old.decisions.len(),
                 new.decisions.len(),
@@ -202,6 +204,12 @@ impl MemJournal {
     /// not reset this).
     pub fn appended_total(&self) -> u64 {
         self.appended_total
+    }
+
+    /// The deltas retained since the last compaction, in append order.
+    /// Determinism tests serialize these to compare runs byte-for-byte.
+    pub fn deltas(&self) -> &[DurableDelta] {
+        &self.deltas
     }
 
     /// Folds all retained deltas into a single base snapshot, bounding

@@ -201,13 +201,16 @@ impl ReplicaNode {
             self.finish_epoch_check(ctx, op);
             return;
         }
-        // "if max-version >= max-dversion":
-        if !c.has_current_replica() {
-            self.finish_epoch_check(ctx, op);
-            return;
-        }
+        // "if max-version >= max-dversion": a current replica must exist,
+        // which also guarantees a max version is known.
+        let desired_version = match c.max_version {
+            Some(v) if c.has_current_replica() => v,
+            _ => {
+                self.finish_epoch_check(ctx, op);
+                return;
+            }
+        };
         let enumber = c.enumber + 1;
-        let desired_version = c.max_version.expect("has_current_replica");
         // GOOD / STALE partition of the *new epoch*.
         let good: Vec<NodeId> = c
             .good
@@ -229,6 +232,9 @@ impl ReplicaNode {
         };
         let timeout = self.config.vote_timeout;
         let timer = ctx.set_timer(timeout, Timer::Votes { op });
+        // Re-borrow after set_timer ended the earlier borrow; nothing in
+        // between can remove the entry within this same step.
+        // lint:allow(panic): coordinator present at fn entry, step is atomic
         let ec = self.vol.epochs.get_mut(&op).expect("present");
         ec.phase = EPhase::Voting {
             participants: new_epoch.clone(),

@@ -9,13 +9,13 @@
 //! waiting for another.
 
 use crate::msg::OpId;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// The lock state of one replica.
 #[derive(Clone, Debug, Default)]
 pub struct ReplicaLock {
     exclusive: Option<OpId>,
-    shared: HashSet<OpId>,
+    shared: BTreeSet<OpId>,
 }
 
 /// Result of a lock attempt.
@@ -92,7 +92,7 @@ impl ReplicaLock {
         self.exclusive.is_some() || !self.shared.is_empty()
     }
 
-    /// The operations currently holding the lock shared (arbitrary order).
+    /// The operations currently holding the lock shared (ascending order).
     pub fn shared_holders(&self) -> impl Iterator<Item = OpId> + '_ {
         self.shared.iter().copied()
     }

@@ -271,7 +271,10 @@ impl Msg {
 }
 
 /// Coarse message classes for traffic accounting.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+///
+/// `Ord` follows declaration order; stats maps key on it, and those maps
+/// must iterate deterministically for the engine's digest/journal contract.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum MsgClass {
     /// Quorum permission traffic (requests, state responses, releases).
     Permission,

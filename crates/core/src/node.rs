@@ -15,7 +15,7 @@ use crate::store::{PagedObject, WriteLog};
 use crate::write::WriteCoordinator;
 use coterie_base::{SimDuration, SimTime, TimerId};
 use coterie_quorum::{NodeId, PlanCache, View};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Timers used by the protocol.
 #[derive(Clone, Debug)]
@@ -100,7 +100,7 @@ pub struct Durable {
     /// because preparing requires the exclusive replica lock.
     pub prepared: Option<(OpId, Action)>,
     /// Commit/abort decisions this node made as a 2PC coordinator.
-    pub decisions: HashMap<OpId, bool>,
+    pub decisions: BTreeMap<OpId, bool>,
     /// Monotonic operation counter (durable so op ids stay unique).
     pub op_counter: u64,
     /// Good list recorded by the most recent write this replica
@@ -121,7 +121,7 @@ impl Durable {
             object: PagedObject::new(config.n_pages),
             log: WriteLog::new(config.log_cap),
             prepared: None,
-            decisions: HashMap::new(),
+            decisions: BTreeMap::new(),
             op_counter: 0,
             last_good: Vec::new(),
         }
@@ -134,18 +134,25 @@ impl Durable {
 }
 
 /// State wiped by a crash.
+///
+/// Keyed collections here are `BTreeMap`/`BTreeSet`, never hash maps:
+/// timer-expiry handlers and shutdown paths iterate them, and that
+/// iteration feeds `Effect` ordering and the explorer's state digests.
+/// The engine contract is *same inputs ⇒ byte-identical effects*, which a
+/// randomly seeded hash order would silently break (enforced by
+/// `coterie-lint`'s `determinism` rule).
 #[derive(Debug, Default)]
 pub struct Volatile {
     /// The replica lock.
     pub lock: ReplicaLock,
     /// Lock-lease timers, by holder.
-    pub lock_leases: HashMap<OpId, TimerId>,
+    pub lock_leases: BTreeMap<OpId, TimerId>,
     /// Write operations this node is coordinating.
-    pub writes: HashMap<OpId, WriteCoordinator>,
+    pub writes: BTreeMap<OpId, WriteCoordinator>,
     /// Read operations this node is coordinating.
-    pub reads: HashMap<OpId, ReadCoordinator>,
+    pub reads: BTreeMap<OpId, ReadCoordinator>,
     /// Epoch checks this node is coordinating.
-    pub epochs: HashMap<OpId, EpochCoordinator>,
+    pub epochs: BTreeMap<OpId, EpochCoordinator>,
     /// Outgoing propagation state.
     pub propagator: Propagator,
     /// Incoming (target-side) propagation state.
@@ -162,7 +169,7 @@ pub struct Volatile {
     /// True while a one-shot epoch retry timer is pending.
     pub epoch_retry_armed: bool,
     /// Ops with a pending decision-retry timer (prevents duplicate chains).
-    pub decision_retry_armed: std::collections::HashSet<OpId>,
+    pub decision_retry_armed: BTreeSet<OpId>,
     /// Bully-election state (used when `initiator` is `Bully`).
     pub election: ElectionState,
     /// Compiled quorum plans, keyed by epoch member set. Purely a cache:
@@ -222,9 +229,9 @@ pub struct NodeStats {
     /// Epoch changes committed with this node as the coordinator.
     pub epoch_changes: u64,
     /// Messages received, by class.
-    pub msgs_in: HashMap<MsgClass, u64>,
+    pub msgs_in: BTreeMap<MsgClass, u64>,
     /// `CallFailed` bounces, by class of the undeliverable message.
-    pub msgs_bounced: HashMap<MsgClass, u64>,
+    pub msgs_bounced: BTreeMap<MsgClass, u64>,
 }
 
 impl NodeStats {

@@ -14,7 +14,7 @@ use crate::msg::{Msg, OpId, PropPayload, PropReply, ProtocolEvent};
 use crate::node::{NodeCtx, ReplicaNode, Timer};
 use coterie_base::TimerId;
 use coterie_quorum::{NodeId, NodeSet};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Outgoing propagation state at a good replica.
 #[derive(Clone, Debug, Default)]
@@ -25,7 +25,7 @@ pub struct Propagator {
     pub in_flight: Option<PropFlight>,
     /// Failed attempts per target (capped; epoch checking eventually drops
     /// persistently dead targets from the epoch).
-    pub attempts: HashMap<NodeId, u32>,
+    pub attempts: BTreeMap<NodeId, u32>,
     /// Whether a kick timer is pending.
     pub kick_armed: bool,
 }
@@ -285,24 +285,19 @@ impl ReplicaNode {
         payload: PropPayload,
         source_version: u64,
     ) {
-        let matches_incoming = self
-            .vol
-            .incoming_prop
-            .as_ref()
-            .is_some_and(|inc| inc.prop == prop);
-        if !matches_incoming {
-            ctx.send(from, Msg::PropAck { prop, ok: false });
-            return;
-        }
-        let locked = self
-            .vol
-            .incoming_prop
-            .as_ref()
-            .map(|i| i.locked)
-            .unwrap_or(false);
+        // Take ownership up front: every path below consumes the incoming
+        // slot, and owning `inc` here removes the check-then-take panics.
+        let inc = match self.vol.incoming_prop.take() {
+            Some(inc) if inc.prop == prop => inc,
+            other => {
+                self.vol.incoming_prop = other;
+                ctx.send(from, Msg::PropAck { prop, ok: false });
+                return;
+            }
+        };
         // Lock-free fence: a two-phase commit grabbed the replica between
         // the offer and the transfer — back off, retry later.
-        if !locked
+        if !inc.locked
             && (self
                 .vol
                 .lock
@@ -310,7 +305,6 @@ impl ReplicaNode {
                 .is_some_and(|holder| holder != prop)
                 || self.durable.prepared.is_some())
         {
-            let inc = self.vol.incoming_prop.take().expect("checked above");
             ctx.cancel_timer(inc.lease);
             ctx.send(from, Msg::PropAck { prop, ok: false });
             return;
@@ -341,7 +335,6 @@ impl ReplicaNode {
             self.durable.stale = false;
             self.durable.dversion = 0;
         }
-        let inc = self.vol.incoming_prop.take().expect("checked above");
         ctx.cancel_timer(inc.lease);
         if inc.locked {
             self.release_lock(ctx, prop);
@@ -381,32 +374,23 @@ impl ReplicaNode {
 
     /// Target side: the source abandoned a permitted transfer.
     pub(crate) fn srv_prop_cancel(&mut self, ctx: &mut NodeCtx<'_>, _from: NodeId, prop: OpId) {
-        let matches_incoming = self
-            .vol
-            .incoming_prop
-            .as_ref()
-            .is_some_and(|inc| inc.prop == prop);
-        if matches_incoming {
-            let inc = self.vol.incoming_prop.take().expect("checked");
-            ctx.cancel_timer(inc.lease);
-            if inc.locked {
-                self.release_lock(ctx, prop);
+        match self.vol.incoming_prop.take() {
+            Some(inc) if inc.prop == prop => {
+                ctx.cancel_timer(inc.lease);
+                if inc.locked {
+                    self.release_lock(ctx, prop);
+                }
             }
+            other => self.vol.incoming_prop = other,
         }
     }
 
     /// Source side: the offer or transfer went unanswered.
     pub(crate) fn on_prop_timeout(&mut self, ctx: &mut NodeCtx<'_>, prop: OpId) {
-        let is_current = self
-            .vol
-            .propagator
-            .in_flight
-            .as_ref()
-            .is_some_and(|f| f.prop == prop);
-        if !is_current {
-            return;
-        }
-        let target = self.vol.propagator.in_flight.as_ref().unwrap().target;
+        let target = match self.vol.propagator.in_flight.as_ref() {
+            Some(flight) if flight.prop == prop => flight.target,
+            _ => return,
+        };
         ctx.send(target, Msg::PropCancel { prop });
         self.clear_flight(ctx, false);
         self.bump_attempts(target);

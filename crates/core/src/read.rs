@@ -179,6 +179,7 @@ impl ReplicaNode {
                 }
                 let target = candidates[0];
                 let alternates = candidates[1..].to_vec();
+                // lint:allow(panic): GOOD is nonempty on this path, so a max version exists
                 let min_version = c.max_version.expect("good nonempty");
                 if target == self.me {
                     // Local fast path: we hold our own shared lock.

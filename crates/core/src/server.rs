@@ -196,16 +196,13 @@ impl ReplicaNode {
         {
             self.vol.pending_epoch_prepare = None;
         }
-        let prepared_matches = self
-            .durable
-            .prepared
-            .as_ref()
-            .is_some_and(|(p, _)| *p == op);
-        if prepared_matches {
-            let (_, action) = self.durable.prepared.take().expect("checked above");
-            if commit {
-                self.apply_action(ctx, &action);
+        match self.durable.prepared.take() {
+            Some((p, action)) if p == op => {
+                if commit {
+                    self.apply_action(ctx, &action);
+                }
             }
+            other => self.durable.prepared = other,
         }
         // Idempotent: also frees the lock of a participant that voted no
         // (which never prepared) instead of waiting out the lease.
@@ -239,9 +236,10 @@ impl ReplicaNode {
             // We coordinated this op ourselves and then crashed: resolve
             // directly from the durable decision log.
             let commit = self.durable.decisions.get(&op).copied().unwrap_or(false);
-            let (_, action) = self.durable.prepared.take().expect("in doubt");
-            if commit {
-                self.apply_action(ctx, &action);
+            if let Some((_, action)) = self.durable.prepared.take() {
+                if commit {
+                    self.apply_action(ctx, &action);
+                }
             }
             self.release_lock(ctx, op);
             return;

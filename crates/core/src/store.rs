@@ -27,7 +27,7 @@ impl PartialWrite {
     pub fn new<I: IntoIterator<Item = (PageId, Bytes)>>(pages: I) -> Self {
         let mut v: Vec<(PageId, Bytes)> = pages.into_iter().collect();
         // Stable de-dup keeping the last occurrence.
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         let mut out = Vec::with_capacity(v.len());
         while let Some(entry) = v.pop() {
             if seen.insert(entry.0) {

@@ -329,6 +329,7 @@ impl ReplicaNode {
         let Some(wc) = self.vol.writes.get_mut(&op) else {
             return;
         };
+        // lint:allow(panic): caller verified has_current_replica, so a max version exists
         let new_version = c.next_version().expect("has_current_replica checked");
         let participants: Vec<NodeId> = c.good.iter().chain(c.stale.iter()).copied().collect();
         // The recorded good list: the intended holders of the new version.
@@ -403,6 +404,7 @@ impl ReplicaNode {
                 wc.granted.remove(&n);
                 ctx.send(n, Msg::Release { op });
             }
+            // lint:allow(panic): GOOD is nonempty on this path, so a max version exists
             let new_version = c.next_version().expect("good nonempty");
             let timeout = self.config.vote_timeout;
             let timer = ctx.set_timer(timeout, Timer::Votes { op });
@@ -573,17 +575,19 @@ impl ReplicaNode {
         let Some(wc) = self.vol.writes.get_mut(&op) else {
             return;
         };
-        let WPhase::FetchBase { .. } = &wc.phase else {
-            return;
-        };
-        let WPhase::FetchBase {
-            classified,
-            targets,
-            timer,
-            ..
-        } = std::mem::replace(&mut wc.phase, WPhase::Collect)
-        else {
-            unreachable!();
+        // Stray responses (the phase already moved on) restore the phase
+        // untouched — no check-then-replace panic window.
+        let (classified, targets, timer) = match std::mem::replace(&mut wc.phase, WPhase::Collect) {
+            WPhase::FetchBase {
+                classified,
+                targets,
+                timer,
+                ..
+            } => (classified, targets, timer),
+            other => {
+                wc.phase = other;
+                return;
+            }
         };
         ctx.cancel_timer(timer);
         // The source's version can only have grown; it remains current.
@@ -645,6 +649,11 @@ impl ReplicaNode {
         // participants plus every optional replica that managed to prepare.
         // (Optional replicas whose yes-vote arrives after this moment learn
         // the outcome through the decision-query path.)
+        // Own the coordinator outright: the op is finished either way, and
+        // removing it here avoids the replace-then-remove panic pattern.
+        let Some(wc) = self.vol.writes.remove(&op) else {
+            return;
+        };
         let WPhase::Voting {
             participants,
             optional_yes: committed_optional,
@@ -652,9 +661,9 @@ impl ReplicaNode {
             stale,
             timer,
             ..
-        } = std::mem::replace(&mut wc.phase, WPhase::Collect)
+        } = wc.phase
         else {
-            unreachable!();
+            return;
         };
         ctx.cancel_timer(timer);
         self.durable.decisions.insert(op, true);
@@ -665,7 +674,6 @@ impl ReplicaNode {
         {
             ctx.send(p, Msg::Decision { op, commit: true });
         }
-        let wc = self.vol.writes.remove(&op).expect("present");
         // Release any granted nodes that were not participants (heavy polls
         // can grant more than the quorum used).
         let participant_set = NodeSet::from_iter(participants.iter().copied());

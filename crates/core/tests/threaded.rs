@@ -2,6 +2,9 @@
 //! also runs on real OS threads (crossbeam channels, wall-clock timers):
 //! the protocol implementation is substrate-independent.
 
+// Deadline polling against the real-thread host needs the real clock.
+#![allow(clippy::disallowed_methods)]
+
 use bytes::Bytes;
 use coterie_core::{ClientRequest, PartialWrite, ProtocolConfig, ProtocolEvent, ReplicaNode};
 use coterie_quorum::{GridCoterie, NodeId};

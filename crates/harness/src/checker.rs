@@ -15,6 +15,10 @@
 //!    return at least that write's version (the external consistency the
 //!    lock-based protocol provides).
 
+// Harness-side bookkeeping: keyed lookups never feed engine effects, so
+// hash maps are fine here.
+#![allow(clippy::disallowed_types)]
+
 use crate::workload::IssuedOp;
 use coterie_core::{PagedObject, PartialWrite, ProtocolEvent};
 use coterie_quorum::NodeId;

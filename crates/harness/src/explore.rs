@@ -15,6 +15,10 @@
 //! of this workload, the protocol never tore an epoch and never produced a
 //! non-serializable run.
 
+// Explorer frontier/dedup tables are tool-side state (digests are already
+// canonical strings); hash collections are fine here.
+#![allow(clippy::disallowed_types)]
+
 use std::collections::{HashMap, HashSet};
 
 use coterie_core::{DriverEvent, StepDriver};

@@ -2,6 +2,9 @@
 //! discrete-event simulator, injects a workload and a fault plan, collects
 //! the outputs, runs the consistency checker, and aggregates metrics.
 
+// Tool-side aggregation; hash maps never feed engine effects.
+#![allow(clippy::disallowed_types)]
+
 use crate::checker::{check_run, CheckReport};
 use crate::faults::{FaultEvent, FaultPlan};
 use crate::metrics::{LatencyStats, LoadStats};

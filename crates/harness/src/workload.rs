@@ -1,6 +1,9 @@
 //! Client workload generation: Poisson arrivals of reads and partial
 //! writes spread across coordinator nodes.
 
+// Tool-side bookkeeping; hash maps never feed engine effects.
+#![allow(clippy::disallowed_types)]
+
 use bytes::Bytes;
 use coterie_core::{ClientRequest, PageId, PartialWrite};
 use coterie_quorum::NodeId;

@@ -2,6 +2,9 @@
 //! dynamic grid protocol on small clusters, asserting one-copy
 //! serializability and epoch safety on every explored schedule.
 
+// Test-side issued-op bookkeeping; hash order never feeds the engine.
+#![allow(clippy::disallowed_types)]
+
 use std::collections::HashMap;
 use std::sync::Arc;
 

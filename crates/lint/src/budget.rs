@@ -1,0 +1,105 @@
+//! The allow budget: a checked-in ceiling on `lint:allow` directives.
+//!
+//! Every *used* `lint:allow(rule)` in policed code counts against the
+//! per-rule ceiling in `crates/lint/allow-budget.txt`. Exceeding the
+//! ceiling is a finding — so new suppressions force an explicit,
+//! reviewable budget bump, and the numbers are expected to only shrink
+//! over time (ratchet discipline).
+
+use crate::diag::Finding;
+
+/// Parses the budget file: `rule <space> max` lines, `#` comments.
+pub fn parse_budget(text: &str) -> Vec<(String, u32)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(rule), Some(max)) = (parts.next(), parts.next()) else {
+            continue;
+        };
+        if let Ok(max) = max.parse::<u32>() {
+            out.push((rule.to_string(), max));
+        }
+    }
+    out
+}
+
+/// Checks used-allow totals against the budget; over-budget rules become
+/// findings anchored at the budget file itself.
+pub fn check_budget(
+    budget: &[(String, u32)],
+    used: &[(String, u32)],
+    budget_file: &str,
+) -> Vec<Finding> {
+    let mut totals: Vec<(String, u32)> = Vec::new();
+    for (rule, _line) in used {
+        match totals.iter_mut().find(|(r, _)| r == rule) {
+            Some((_, n)) => *n += 1,
+            None => totals.push((rule.clone(), 1)),
+        }
+    }
+    totals.sort();
+    let mut findings = Vec::new();
+    for (rule, n) in &totals {
+        let max = budget
+            .iter()
+            .find(|(r, _)| r == rule)
+            .map(|(_, m)| *m)
+            .unwrap_or(0);
+        if *n > max {
+            findings.push(Finding {
+                file: budget_file.to_string(),
+                line: 1,
+                col: 1,
+                rule: "allow-hygiene".into(),
+                message: format!(
+                    "allow budget exceeded for `{rule}`: {n} used, {max} budgeted; \
+                     fix the sites or raise the ceiling in an explicit, reviewed bump"
+                ),
+                snippet: String::new(),
+            });
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_lines_and_comments() {
+        let b = parse_budget("# ceiling\npanic 12\ndeterminism 0 # none\n\n");
+        assert_eq!(
+            b,
+            vec![("panic".to_string(), 12), ("determinism".to_string(), 0)]
+        );
+    }
+
+    #[test]
+    fn over_budget_is_a_finding() {
+        let budget = vec![("panic".to_string(), 1)];
+        let used = vec![("panic".to_string(), 3), ("panic".to_string(), 9)];
+        let f = check_budget(&budget, &used, "crates/lint/allow-budget.txt");
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("2 used, 1 budgeted"));
+    }
+
+    #[test]
+    fn within_budget_is_clean() {
+        let budget = vec![("panic".to_string(), 2)];
+        let used = vec![("panic".to_string(), 3)];
+        assert!(check_budget(&budget, &used, "b").is_empty());
+    }
+
+    #[test]
+    fn unbudgeted_rule_defaults_to_zero() {
+        let used = vec![("determinism".to_string(), 7)];
+        let f = check_budget(&[], &used, "b");
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("0 budgeted"));
+    }
+}

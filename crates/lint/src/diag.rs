@@ -1,0 +1,157 @@
+//! Diagnostic rendering: human-readable findings with source snippets, and
+//! a machine-readable JSON report for `target/lint-report.json`.
+
+use std::fmt::Write as _;
+
+/// One rule violation at a source location.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path, `/`-separated regardless of platform.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column (byte offset within the line + 1).
+    pub col: u32,
+    /// Rule id: `determinism`, `effects`, `panic`, or `allow-hygiene`.
+    pub rule: String,
+    /// Human-readable explanation.
+    pub message: String,
+    /// The offending source line, verbatim.
+    pub snippet: String,
+}
+
+impl Finding {
+    /// Renders the finding in the classic compiler style:
+    ///
+    /// ```text
+    /// error[determinism]: `HashMap` is forbidden ...
+    ///   --> crates/core/src/node.rs:103:20
+    ///    |
+    /// 103 |     pub decisions: HashMap<OpId, bool>,
+    ///    |
+    /// ```
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "error[{}]: {}", self.rule, self.message);
+        let _ = writeln!(out, "  --> {}:{}:{}", self.file, self.line, self.col);
+        let gutter = self.line.to_string().len().max(3);
+        let _ = writeln!(out, "{:gutter$} |", "");
+        let _ = writeln!(out, "{:>gutter$} | {}", self.line, self.snippet);
+        let pad = (self.col as usize).saturating_sub(1);
+        let _ = writeln!(out, "{:gutter$} | {:pad$}^", "", "");
+        out
+    }
+
+    /// Renders the finding as one JSON object (hand-rolled: the lint is
+    /// dependency-free by policy).
+    pub fn render_json(&self) -> String {
+        format!(
+            "{{\"file\":{},\"line\":{},\"col\":{},\"rule\":{},\"message\":{},\"snippet\":{}}}",
+            json_str(&self.file),
+            self.line,
+            self.col,
+            json_str(&self.rule),
+            json_str(&self.message),
+            json_str(&self.snippet),
+        )
+    }
+}
+
+/// Renders the full report: a JSON object with a findings array and
+/// per-rule counts, stable field order for diffing across PRs.
+pub fn render_json_report(findings: &[Finding], files_scanned: usize) -> String {
+    let mut counts: Vec<(String, u32)> = Vec::new();
+    for f in findings {
+        match counts.iter_mut().find(|(r, _)| *r == f.rule) {
+            Some((_, n)) => *n += 1,
+            None => counts.push((f.rule.clone(), 1)),
+        }
+    }
+    counts.sort();
+    let mut out = String::from("{\n  \"files_scanned\": ");
+    let _ = write!(out, "{files_scanned},\n  \"counts\": {{");
+    for (i, (rule, n)) in counts.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let _ = write!(out, "{sep}\n    {}: {n}", json_str(rule));
+    }
+    if !counts.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("},\n  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let _ = write!(out, "{sep}\n    {}", f.render_json());
+    }
+    if !findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// Escapes a string for JSON output.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Finding {
+        Finding {
+            file: "crates/core/src/node.rs".into(),
+            line: 103,
+            col: 20,
+            rule: "determinism".into(),
+            message: "`HashMap` is forbidden".into(),
+            snippet: "    pub decisions: HashMap<OpId, bool>,".into(),
+        }
+    }
+
+    #[test]
+    fn human_rendering_points_at_the_column() {
+        let r = sample().render_human();
+        assert!(r.contains("error[determinism]"));
+        assert!(r.contains("--> crates/core/src/node.rs:103:20"));
+        let caret_line = r.lines().last().unwrap();
+        assert_eq!(caret_line.find('^').unwrap(), "    | ".len() + 19 - 1 + 1);
+    }
+
+    #[test]
+    fn json_escapes_quotes_and_newlines() {
+        assert_eq!(json_str("a\"b\nc\\d"), "\"a\\\"b\\nc\\\\d\"");
+    }
+
+    #[test]
+    fn report_counts_by_rule() {
+        let mut f2 = sample();
+        f2.rule = "panic".into();
+        let rep = render_json_report(&[sample(), sample(), f2], 42);
+        assert!(rep.contains("\"files_scanned\": 42"));
+        assert!(rep.contains("\"determinism\": 2"));
+        assert!(rep.contains("\"panic\": 1"));
+    }
+
+    #[test]
+    fn empty_report_is_valid_json_shape() {
+        let rep = render_json_report(&[], 0);
+        assert!(rep.contains("\"findings\": []"));
+    }
+}

@@ -1,0 +1,475 @@
+//! A minimal Rust lexer: just enough structure to tell code from
+//! comments, strings, and char literals, with line/column positions.
+//!
+//! The analyzer never needs a parse tree — every rule is a pattern over a
+//! handful of adjacent tokens — but it *must not* fire on the word
+//! `HashMap` inside a doc comment or a string literal. The lexer therefore
+//! separates the token stream (identifiers, punctuation, literals) from
+//! the comment stream (which carries `lint:allow` directives).
+
+/// What kind of token this is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`HashMap`, `fn`, `r#async`, ...).
+    Ident,
+    /// A single punctuation character (`:`, `!`, `.`, `{`, ...).
+    Punct,
+    /// A string, char, byte, or numeric literal (contents opaque).
+    Literal,
+    /// A lifetime (`'a`); kept distinct so it is never mistaken for a
+    /// char literal.
+    Lifetime,
+}
+
+/// One token with its source position (1-based line and column).
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// Kind of the token.
+    pub kind: TokKind,
+    /// The token text. Plain `"..."` string literals keep their raw text
+    /// (attribute scanning needs `cfg(feature = "...")` values); other
+    /// literal kinds collapse to a placeholder — rules never inspect them.
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+}
+
+impl Token {
+    /// True if this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True if this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+}
+
+/// One comment (line or block) with its position. `text` excludes the
+/// delimiters for line comments and is the raw body for block comments.
+#[derive(Clone, Debug)]
+pub struct Comment {
+    /// Comment body (without the leading `//`).
+    pub text: String,
+    /// 1-based line of the comment's start.
+    pub line: u32,
+    /// True if no token precedes the comment on its own starting line
+    /// (the comment "owns" the line).
+    pub owns_line: bool,
+}
+
+/// The result of lexing one file.
+#[derive(Clone, Debug, Default)]
+pub struct Lexed {
+    /// Code tokens, in source order.
+    pub tokens: Vec<Token>,
+    /// Comments, in source order.
+    pub comments: Vec<Comment>,
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.src.get(self.pos + off).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes `src` into tokens and comments. The lexer is lossy about literal
+/// *contents* (rules never look inside them) but exact about positions.
+pub fn lex(src: &str) -> Lexed {
+    let mut c = Cursor {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Lexed::default();
+    let mut last_token_line: u32 = 0;
+
+    while let Some(b) = c.peek() {
+        let (line, col) = (c.line, c.col);
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                c.bump();
+            }
+            b'/' if c.peek_at(1) == Some(b'/') => {
+                // Line comment (incl. doc comments). Body runs to newline.
+                let start = c.pos + 2;
+                while c.peek().is_some_and(|b| b != b'\n') {
+                    c.bump();
+                }
+                out.comments.push(Comment {
+                    text: src[start..c.pos].to_string(),
+                    line,
+                    owns_line: last_token_line != line,
+                });
+            }
+            b'/' if c.peek_at(1) == Some(b'*') => {
+                // Block comment, nested.
+                let start = c.pos + 2;
+                c.bump();
+                c.bump();
+                let mut depth = 1usize;
+                let mut end = c.pos;
+                while depth > 0 {
+                    match (c.peek(), c.peek_at(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            depth += 1;
+                            c.bump();
+                            c.bump();
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            depth -= 1;
+                            end = c.pos;
+                            c.bump();
+                            c.bump();
+                        }
+                        (Some(_), _) => {
+                            c.bump();
+                        }
+                        (None, _) => {
+                            end = c.pos;
+                            break;
+                        }
+                    }
+                }
+                out.comments.push(Comment {
+                    text: src[start..end].to_string(),
+                    line,
+                    owns_line: last_token_line != line,
+                });
+            }
+            b'"' => {
+                let start = c.pos;
+                lex_string(&mut c);
+                out.tokens.push(Token {
+                    kind: TokKind::Literal,
+                    text: src[start..c.pos].to_string(),
+                    line,
+                    col,
+                });
+                last_token_line = c.line;
+            }
+            b'\'' => {
+                // Lifetime or char literal. A lifetime is `'` + ident with
+                // no closing quote right after the identifier.
+                let is_lifetime = c.peek_at(1).is_some_and(is_ident_start) && {
+                    let mut off = 2;
+                    while c.peek_at(off).is_some_and(is_ident_continue) {
+                        off += 1;
+                    }
+                    c.peek_at(off) != Some(b'\'')
+                };
+                if is_lifetime {
+                    c.bump(); // '
+                    let start = c.pos;
+                    while c.peek().is_some_and(is_ident_continue) {
+                        c.bump();
+                    }
+                    out.tokens.push(Token {
+                        kind: TokKind::Lifetime,
+                        text: src[start..c.pos].to_string(),
+                        line,
+                        col,
+                    });
+                } else {
+                    c.bump(); // opening '
+                    if c.peek() == Some(b'\\') {
+                        c.bump();
+                        c.bump(); // escaped char (\' \n \\ ...; \u{..} eats below)
+                        while c.peek().is_some_and(|b| b != b'\'') {
+                            c.bump();
+                        }
+                    } else {
+                        c.bump(); // the char itself (multibyte: eat to quote)
+                        while c.peek().is_some_and(|b| b != b'\'') {
+                            c.bump();
+                        }
+                    }
+                    c.bump(); // closing '
+                    out.tokens.push(Token {
+                        kind: TokKind::Literal,
+                        text: "''".to_string(),
+                        line,
+                        col,
+                    });
+                }
+                last_token_line = line;
+            }
+            _ if is_ident_start(b) => {
+                // Raw strings / byte strings first: r"..", r#".."#, b"..",
+                // br#".."#, and raw identifiers r#ident.
+                if let Some(consumed) = try_raw_or_byte_string(&mut c) {
+                    if consumed {
+                        out.tokens.push(Token {
+                            kind: TokKind::Literal,
+                            text: "\"\"".to_string(),
+                            line,
+                            col,
+                        });
+                        last_token_line = c.line;
+                        continue;
+                    }
+                }
+                let start = c.pos;
+                // Raw identifier prefix.
+                if b == b'r'
+                    && c.peek_at(1) == Some(b'#')
+                    && c.peek_at(2).is_some_and(is_ident_start)
+                {
+                    c.bump();
+                    c.bump();
+                }
+                while c.peek().is_some_and(is_ident_continue) {
+                    c.bump();
+                }
+                let text = src[start..c.pos].trim_start_matches("r#").to_string();
+                out.tokens.push(Token {
+                    kind: TokKind::Ident,
+                    text,
+                    line,
+                    col,
+                });
+                last_token_line = line;
+            }
+            _ if b.is_ascii_digit() => {
+                // Numeric literal: digits, underscores, type suffixes, a
+                // fractional part only when followed by a digit (so `0..9`
+                // stays two tokens and a range).
+                while let Some(d) = c.peek() {
+                    let continues = d.is_ascii_alphanumeric()
+                        || d == b'_'
+                        || (d == b'.' && c.peek_at(1).is_some_and(|n| n.is_ascii_digit()))
+                        || ((d == b'+' || d == b'-')
+                            && matches!(c.src.get(c.pos.wrapping_sub(1)), Some(b'e') | Some(b'E')));
+                    if !continues {
+                        break;
+                    }
+                    c.bump();
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Literal,
+                    text: "0".to_string(),
+                    line,
+                    col,
+                });
+                last_token_line = line;
+            }
+            _ => {
+                c.bump();
+                out.tokens.push(Token {
+                    kind: TokKind::Punct,
+                    text: (b as char).to_string(),
+                    line,
+                    col,
+                });
+                last_token_line = line;
+            }
+        }
+    }
+    out
+}
+
+/// Consumes a `"..."` string (cursor on the opening quote).
+fn lex_string(c: &mut Cursor<'_>) {
+    c.bump(); // opening "
+    while let Some(b) = c.peek() {
+        match b {
+            b'\\' => {
+                c.bump();
+                c.bump();
+            }
+            b'"' => {
+                c.bump();
+                return;
+            }
+            _ => {
+                c.bump();
+            }
+        }
+    }
+}
+
+/// If the cursor sits on a raw/byte string (`r"`, `r#"`, `b"`, `br#"`,
+/// `c"` ...), consumes it and returns `Some(true)`. Returns `Some(false)`
+/// if the prefix letters start a plain identifier. (Never returns `None`;
+/// the `Option` keeps the call site symmetrical.)
+fn try_raw_or_byte_string(c: &mut Cursor<'_>) -> Option<bool> {
+    let b0 = c.peek()?;
+    if !matches!(b0, b'r' | b'b' | b'c') {
+        return Some(false);
+    }
+    // Determine prefix length: r | b | c | br | rb? (only br is legal).
+    let mut off = 1;
+    if b0 == b'b' && c.peek_at(1) == Some(b'r') {
+        off = 2;
+    }
+    // Count hashes.
+    let mut hashes = 0usize;
+    while c.peek_at(off + hashes) == Some(b'#') {
+        hashes += 1;
+    }
+    if c.peek_at(off + hashes) != Some(b'"') {
+        return Some(false);
+    }
+    let raw = b0 == b'r' || (b0 == b'b' && off == 2);
+    if !raw && hashes > 0 {
+        return Some(false); // b#... is not a string
+    }
+    // Consume prefix, hashes, opening quote.
+    for _ in 0..off + hashes + 1 {
+        c.bump();
+    }
+    if raw {
+        // Scan to `"` followed by `hashes` hashes, no escapes.
+        'outer: while let Some(b) = c.peek() {
+            if b == b'"' {
+                let mut ok = true;
+                for h in 0..hashes {
+                    if c.peek_at(1 + h) != Some(b'#') {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    for _ in 0..1 + hashes {
+                        c.bump();
+                    }
+                    break 'outer;
+                }
+            }
+            c.bump();
+        }
+    } else {
+        // Cooked byte/C string with escapes: we already ate the quote.
+        while let Some(b) = c.peek() {
+            match b {
+                b'\\' => {
+                    c.bump();
+                    c.bump();
+                }
+                b'"' => {
+                    c.bump();
+                    break;
+                }
+                _ => {
+                    c.bump();
+                }
+            }
+        }
+    }
+    Some(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_positions() {
+        let l = lex("use std::collections::HashMap;\nfn main() {}\n");
+        let hm = l.tokens.iter().find(|t| t.is_ident("HashMap")).unwrap();
+        assert_eq!((hm.line, hm.col), (1, 23));
+        let f = l.tokens.iter().find(|t| t.is_ident("fn")).unwrap();
+        assert_eq!(f.line, 2);
+    }
+
+    #[test]
+    fn strings_and_comments_hide_words() {
+        let src = r##"
+// HashMap in a comment
+/* Instant::now() in a block /* nested */ comment */
+let s = "HashMap::new()";
+let r = r#"SystemTime "quoted" inside"#;
+let b = b"unwrap()";
+"##;
+        let ids = idents(src);
+        assert!(!ids.iter().any(|i| i == "HashMap"));
+        assert!(!ids.iter().any(|i| i == "SystemTime"));
+        assert!(!ids.iter().any(|i| i == "unwrap"));
+        let l = lex(src);
+        assert_eq!(l.comments.len(), 2);
+        assert!(l.comments[0].text.contains("HashMap"));
+        assert!(l.comments[1].text.contains("nested"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let l = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert!(l.tokens.iter().any(|t| t.kind == TokKind::Literal));
+    }
+
+    #[test]
+    fn escaped_char_literal_does_not_derail() {
+        let l = lex(r"let c = '\n'; let d = '\''; let e = '\u{1F600}'; HashMap");
+        assert!(l.tokens.iter().any(|t| t.is_ident("HashMap")));
+    }
+
+    #[test]
+    fn trailing_vs_owning_comments() {
+        let l = lex("let x = 1; // trailing\n// owning\nlet y = 2;\n");
+        assert!(!l.comments[0].owns_line);
+        assert!(l.comments[1].owns_line);
+    }
+
+    #[test]
+    fn numeric_ranges_stay_ranges() {
+        let l = lex("for i in 0..10 { }");
+        let dots = l.tokens.iter().filter(|t| t.is_punct('.')).count();
+        assert_eq!(dots, 2);
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let ids = idents("let r#async = 1;");
+        assert!(ids.iter().any(|i| i == "async"));
+    }
+}

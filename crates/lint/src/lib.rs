@@ -1,0 +1,64 @@
+//! `coterie-lint`: a self-hosted determinism & effect-discipline analyzer.
+//!
+//! The sans-I/O engine in `coterie-core` promises *same inputs ⇒ same
+//! effects, byte-identical* — the property the interleaving explorer's
+//! digest dedup, the crash-replay proptest, and the paper's
+//! one-copy-serializability argument all depend on. This crate makes that
+//! promise mechanically checkable: it tokenizes every workspace `*.rs`
+//! file (no rustc, no syn — a hand-written lexer keeps the tool std-only
+//! per the offline vendor policy) and enforces role-scoped rules:
+//!
+//! | rule | scope | forbids |
+//! |------|-------|---------|
+//! | `determinism` | core engine/protocol modules | `HashMap`/`HashSet` state, `Instant`/`SystemTime`, `rand::`/`thread_rng`, `std::thread`, `println!`-family |
+//! | `effects` | core + protocol libraries | naming `std::{fs,net,io,process}` or I/O types outside `engine/io.rs`, `host.rs`, host crates |
+//! | `panic` | core, quorum, base, simnet | `.unwrap()`/`.expect()`/`panic!`-family without `// lint:allow(panic): reason` |
+//! | `allow-hygiene` | everywhere a directive appears | reason-less or unused `lint:allow`, budget overruns |
+//!
+//! See DESIGN.md §8 for the full scoping model and suppression policy.
+
+pub mod budget;
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+pub mod scan;
+
+use diag::Finding;
+use std::path::Path;
+
+/// Outcome of a full workspace scan.
+#[derive(Debug, Default)]
+pub struct ScanOutcome {
+    /// All findings, sorted by (file, line, col).
+    pub findings: Vec<Finding>,
+    /// Number of files analyzed (role != NONE).
+    pub files_scanned: usize,
+}
+
+/// Runs the lint over the workspace rooted at `root`.
+pub fn run_workspace(root: &Path) -> std::io::Result<ScanOutcome> {
+    let files = scan::collect_rs_files(root)?;
+    let mut outcome = ScanOutcome::default();
+    let mut allows_used: Vec<(String, u32)> = Vec::new();
+    for (rel, path) in &files {
+        let spec = scan::role_for(rel);
+        if !spec.any() {
+            continue;
+        }
+        let src = std::fs::read_to_string(path)?;
+        let report = rules::analyze(rel, &src, spec);
+        outcome.findings.extend(report.findings);
+        allows_used.extend(report.allows_used);
+        outcome.files_scanned += 1;
+    }
+    let budget_rel = "crates/lint/allow-budget.txt";
+    let budget_text = std::fs::read_to_string(root.join(budget_rel)).unwrap_or_default();
+    let budget = budget::parse_budget(&budget_text);
+    outcome
+        .findings
+        .extend(budget::check_budget(&budget, &allows_used, budget_rel));
+    outcome
+        .findings
+        .sort_by(|a, b| (&a.file, a.line, a.col).cmp(&(&b.file, b.line, b.col)));
+    Ok(outcome)
+}

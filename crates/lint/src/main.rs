@@ -1,0 +1,109 @@
+//! CLI shell for `coterie-lint`.
+//!
+//! ```text
+//! coterie-lint [--root DIR] [--deny] [--format human|json] [--report PATH]
+//! ```
+//!
+//! * `--root DIR` — workspace root to scan (default: nearest ancestor of
+//!   the current directory containing a root `Cargo.toml`, falling back
+//!   to `.`).
+//! * `--deny` — exit non-zero if any finding is produced (the tier-1 CI
+//!   mode).
+//! * `--format json` — print the machine-readable report to stdout
+//!   instead of human diagnostics.
+//! * `--report PATH` — additionally write the JSON report to `PATH`
+//!   (used by tier1.sh to leave `target/lint-report.json` for diffing
+//!   finding counts across PRs).
+
+use coterie_lint::diag::render_json_report;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut deny = false;
+    let mut json = false;
+    let mut report_path: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => root = args.next().map(PathBuf::from),
+            "--deny" => deny = true,
+            "--format" => match args.next().as_deref() {
+                Some("json") => json = true,
+                Some("human") => json = false,
+                other => {
+                    eprintln!("coterie-lint: unknown --format {other:?} (want human|json)");
+                    return ExitCode::from(2);
+                }
+            },
+            "--report" => report_path = args.next().map(PathBuf::from),
+            "--help" | "-h" => {
+                println!(
+                    "coterie-lint [--root DIR] [--deny] [--format human|json] [--report PATH]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("coterie-lint: unknown argument {other:?} (see --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = root.unwrap_or_else(find_workspace_root);
+    let outcome = match coterie_lint::run_workspace(&root) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("coterie-lint: scan failed under {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let json_report = render_json_report(&outcome.findings, outcome.files_scanned);
+    if let Some(path) = &report_path {
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        if let Err(e) = std::fs::write(path, &json_report) {
+            eprintln!("coterie-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    if json {
+        print!("{json_report}");
+    } else {
+        for f in &outcome.findings {
+            print!("{}", f.render_human());
+        }
+        println!(
+            "coterie-lint: {} finding(s) across {} policed file(s)",
+            outcome.findings.len(),
+            outcome.files_scanned
+        );
+    }
+
+    if deny && !outcome.findings.is_empty() {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// Walks up from the current directory looking for a `Cargo.toml` that
+/// declares `[workspace]`; falls back to `.`.
+fn find_workspace_root() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return dir;
+            }
+        }
+        if !dir.pop() {
+            return PathBuf::from(".");
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! End-to-end CLI tests: `--deny` exit codes and the `--report` JSON file,
+//! exercised against synthetic mini-workspaces built in a temp directory.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn lint_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_coterie-lint")
+}
+
+/// Builds a throwaway workspace root containing one engine-role file.
+fn mini_workspace(tag: &str, engine_src: &str) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("coterie-lint-cli-{tag}-{}", std::process::id()));
+    let src_dir = root.join("crates/core/src");
+    std::fs::create_dir_all(&src_dir).expect("mkdir");
+    std::fs::write(root.join("Cargo.toml"), "[workspace]\n").expect("manifest");
+    std::fs::write(src_dir.join("node.rs"), engine_src).expect("engine file");
+    root
+}
+
+fn run_lint(root: &Path, extra: &[&str]) -> std::process::Output {
+    Command::new(lint_bin())
+        .arg("--root")
+        .arg(root)
+        .args(extra)
+        .output()
+        .expect("run coterie-lint")
+}
+
+#[test]
+fn deny_exits_nonzero_on_violation() {
+    let root = mini_workspace("bad", "use std::collections::HashMap;\n");
+    let out = run_lint(&root, &["--deny"]);
+    assert!(
+        !out.status.success(),
+        "--deny must fail on a HashMap in engine code"
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("error[determinism]"), "got: {text}");
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn deny_exits_zero_on_clean_tree() {
+    let root = mini_workspace("good", "pub fn nothing_to_see() {}\n");
+    let out = run_lint(&root, &["--deny"]);
+    assert!(
+        out.status.success(),
+        "--deny failed on a clean tree: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn report_writes_machine_readable_json() {
+    let root = mini_workspace(
+        "json",
+        "pub fn f(x: Option<u8>) -> u8 {\n    x.unwrap()\n}\n",
+    );
+    let report = root.join("target/lint-report.json");
+    let out = run_lint(
+        &root,
+        &[
+            "--format",
+            "json",
+            "--report",
+            report.to_str().expect("utf8 path"),
+        ],
+    );
+    assert!(
+        out.status.success(),
+        "without --deny, findings still exit 0"
+    );
+    let on_disk = std::fs::read_to_string(&report).expect("report file");
+    let on_stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(on_disk, on_stdout, "--report and stdout JSON must match");
+    assert!(on_disk.contains("\"rule\":\"panic\""), "got: {on_disk}");
+    assert!(on_disk.contains("\"line\":2"), "got: {on_disk}");
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn workspace_scan_is_clean_under_deny() {
+    // The real repository must stay lint-clean: this is the same gate
+    // tier1.sh runs, kept here so `cargo test -p coterie-lint` alone
+    // catches regressions.
+    let repo_root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf();
+    let out = run_lint(&repo_root, &["--deny"]);
+    assert!(
+        out.status.success(),
+        "workspace has lint findings:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}

@@ -1,0 +1,89 @@
+//! Fixture corpus self-test: every `tests/fixtures/*.rs` file is analyzed
+//! under the full rule set and the findings must match its `.expected`
+//! golden file (one `rule:line:col` per line, sorted by position).
+//!
+//! To update a golden after an intentional rule change, run with
+//! `BLESS_LINT_FIXTURES=1` and review the diff.
+
+use coterie_lint::rules::{analyze, RoleSpec};
+use std::path::{Path, PathBuf};
+
+const ALL: RoleSpec = RoleSpec {
+    determinism: true,
+    effects: true,
+    panic: true,
+};
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn findings_summary(src: &str) -> String {
+    analyze("fixture.rs", src, ALL)
+        .findings
+        .iter()
+        .map(|f| format!("{}:{}:{}\n", f.rule, f.line, f.col))
+        .collect()
+}
+
+#[test]
+fn fixtures_match_goldens() {
+    let dir = fixtures_dir();
+    let mut cases: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("fixtures dir")
+        .filter_map(|e| {
+            let p = e.expect("dir entry").path();
+            (p.extension().is_some_and(|x| x == "rs")).then_some(p)
+        })
+        .collect();
+    cases.sort();
+    assert!(cases.len() >= 7, "fixture corpus shrank: {cases:?}");
+
+    let bless = std::env::var_os("BLESS_LINT_FIXTURES").is_some();
+    let mut failures = Vec::new();
+    for case in &cases {
+        let src = std::fs::read_to_string(case).expect("read fixture");
+        let got = findings_summary(&src);
+        let golden_path = case.with_extension("expected");
+        if bless {
+            std::fs::write(&golden_path, &got).expect("bless golden");
+            continue;
+        }
+        let want = std::fs::read_to_string(&golden_path)
+            .unwrap_or_else(|_| panic!("missing golden {}", golden_path.display()));
+        if got != want {
+            failures.push(format!(
+                "== {} ==\n-- expected --\n{want}-- got --\n{got}",
+                case.file_name().unwrap().to_string_lossy()
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "fixture findings diverged from goldens:\n{}",
+        failures.join("\n")
+    );
+}
+
+/// Violating fixtures must each produce at least one finding; the two
+/// clean-by-design cases are the false-positive corpus and (almost) the
+/// cfg-gated one.
+#[test]
+fn violation_fixtures_are_nonempty() {
+    for name in [
+        "d1_hash_state.rs",
+        "d1_wall_clock.rs",
+        "d1_ambient.rs",
+        "d2_io.rs",
+        "d3_panic.rs",
+        "suppression.rs",
+    ] {
+        let src = std::fs::read_to_string(fixtures_dir().join(name)).expect("fixture");
+        assert!(
+            !findings_summary(&src).is_empty(),
+            "{name} unexpectedly clean"
+        );
+    }
+    let fp = std::fs::read_to_string(fixtures_dir().join("false_positive.rs")).expect("fixture");
+    assert!(findings_summary(&fp).is_empty(), "false positives fired");
+}

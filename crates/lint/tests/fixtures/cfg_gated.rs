@@ -1,0 +1,33 @@
+// Fixture: cfg-gated items are host/test territory where rules relax.
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn t() {
+        let m: HashMap<u8, u8> = HashMap::new();
+        assert!(m.get(&0).is_none());
+        None::<u8>.unwrap_err_does_not_exist();
+        let _ = None::<u8>.unwrap();
+    }
+}
+
+#[cfg(feature = "simnet-host")]
+pub mod host {
+    use std::net::TcpStream;
+    pub fn dial() {
+        let _ = TcpStream::connect("127.0.0.1:1");
+        let _ = std::time::Instant::now();
+    }
+}
+
+#[cfg(any(test, feature = "simnet-host"))]
+pub fn helper(x: Option<u8>) -> u8 {
+    x.unwrap()
+}
+
+// `cfg(not(test))` is live code: rules apply.
+#[cfg(not(test))]
+pub fn live(x: Option<u8>) -> u8 {
+    x.unwrap()
+}

@@ -1,0 +1,8 @@
+// Fixture: D1 determinism — ambient randomness, threads, printing.
+pub fn jitter() -> u64 {
+    let mut rng = rand::thread_rng();
+    std::thread::spawn(|| {});
+    println!("rolling");
+    eprintln!("still rolling");
+    rng.gen()
+}

@@ -1,0 +1,8 @@
+// Fixture: D1 determinism — randomly seeded collections as protocol state.
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+pub struct State {
+    pub decisions: HashMap<u64, bool>,
+    pub armed: HashSet<u64>,
+}

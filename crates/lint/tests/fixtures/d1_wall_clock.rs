@@ -1,0 +1,8 @@
+// Fixture: D1 determinism — wall-clock reads in engine code.
+use std::time::Instant;
+
+pub fn elapsed() -> u64 {
+    let start = Instant::now();
+    let _ = std::time::SystemTime::now();
+    start.elapsed().as_millis() as u64
+}

@@ -1,0 +1,9 @@
+// Fixture: D2 effect discipline — naming real I/O outside the host boundary.
+use std::fs;
+use std::net::TcpListener;
+
+pub fn persist(data: &[u8]) {
+    fs::write("/tmp/replica.bin", data).ok();
+    let _sock = TcpListener::bind("127.0.0.1:0");
+    let _f: Option<File> = None;
+}

@@ -1,0 +1,13 @@
+// Fixture: D3 panic hygiene — unannotated panics in protocol code.
+pub fn decide(x: Option<u8>, y: Result<u8, ()>) -> u8 {
+    let a = x.unwrap();
+    let b = y.expect("present");
+    if a > b {
+        panic!("inverted");
+    }
+    match a {
+        0 => unreachable!(),
+        1 => todo!(),
+        _ => a + b,
+    }
+}

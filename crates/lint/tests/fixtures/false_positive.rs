@@ -1,0 +1,21 @@
+// Fixture: near-misses that must NOT fire.
+// Words in comments never count: HashMap, Instant::now, unwrap(), panic!.
+pub fn clean(x: Option<u8>) -> u8 {
+    // Combinators that merely contain forbidden substrings.
+    let a = x.unwrap_or(0);
+    let b = x.unwrap_or_else(|| 1);
+    // Forbidden names inside string literals are data, not code.
+    let s = "HashMap and Instant::now and thread_rng live here";
+    let r = r#"panic! inside a raw string"#;
+    // A lifetime is not a char literal; expect no lexer derailment.
+    fn idref<'a>(v: &'a str) -> &'a str {
+        v
+    }
+    // `random` and `operand` contain "rand" but are plain identifiers;
+    // a bare `rand` ident without :: is not a crate path either.
+    let operand = 2u8;
+    let rand = operand;
+    // Method names on other types: expecting is not .expect(.
+    let expectation = s.len() + r.len();
+    a + b + idref("z").len() as u8 + rand + expectation as u8
+}

@@ -1,0 +1,14 @@
+// Fixture: lint:allow suppression semantics.
+pub fn suppressed(x: Option<u8>) -> u8 {
+    // A trailing directive suppresses its own line.
+    let a = x.unwrap(); // lint:allow(panic): fixture demonstrates trailing form
+    // An owning-line directive suppresses the next code line.
+    // lint:allow(panic): fixture demonstrates owning-line form
+    let b = x.expect("also fine");
+    // A reason-less directive suppresses but is flagged itself.
+    let c = x.unwrap(); // lint:allow(panic)
+    // An unused directive (nothing fires on the next line) is a finding.
+    // lint:allow(determinism): stale — nothing here uses a hash map
+    let d = a + b;
+    c + d
+}

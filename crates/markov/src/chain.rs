@@ -6,6 +6,9 @@
 //! named states and rates; [`crate::solve`] computes the stationary
 //! distribution.
 
+// Offline analysis: state-index interning is order-insensitive.
+#![allow(clippy::disallowed_types)]
+
 use std::collections::HashMap;
 use std::fmt::Debug;
 use std::hash::Hash;

@@ -10,6 +10,9 @@
 //! `(epoch, up-set)` states for a concrete [`CoterieRule`], so the idealized
 //! and exact models can be compared (experiment E10).
 
+// Offline analysis: visited-set membership is order-insensitive.
+#![allow(clippy::disallowed_types)]
+
 use crate::chain::{Ctmc, CtmcBuilder};
 use crate::solve::{probability_of, stationary, SolveError};
 use coterie_quorum::{CoterieRule, NodeId, NodeSet, PlanCache, QuorumKind};

@@ -64,6 +64,7 @@ pub fn exact_availability(rule: &dyn CoterieRule, view: &View, p: f64, kind: Quo
                 scope.spawn(move || sum_range(lo, hi))
             })
             .collect();
+        // lint:allow(panic): join only fails if a worker panicked; re-raise it here
         handles.into_iter().map(|h| h.join().unwrap()).sum()
     })
 }
@@ -168,6 +169,7 @@ pub fn best_static_grid(n_nodes: usize, p: f64) -> (GridShape, f64) {
             best = Some((shape, a));
         }
     }
+    // lint:allow(panic): the loop always visits the 1 x N shape, so best is Some
     best.expect("the 1 x N grid is always a candidate")
 }
 
@@ -192,6 +194,7 @@ pub fn best_grid_allowing_holes(n_nodes: usize, p: f64) -> (GridShape, f64) {
             }
         }
     }
+    // lint:allow(panic): the loop always visits the hole-free 1 x N shape
     best.expect("at least the 1 x N grid is always a candidate")
 }
 
@@ -257,6 +260,7 @@ pub fn minimal_quorums(rule: &dyn CoterieRule, view: &View, kind: QuorumKind) ->
             .collect();
         handles
             .into_iter()
+            // lint:allow(panic): join only fails if a worker panicked; re-raise it here
             .flat_map(|h| h.join().unwrap())
             .collect()
     })

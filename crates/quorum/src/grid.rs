@@ -228,6 +228,7 @@ impl GridCoterie {
         for i in 1..=shape.m {
             for j in 1..=shape.n {
                 let cell = match shape.ordered_number_at(i, j) {
+                    // lint:allow(panic): ordered numbers are < |view| by construction
                     Some(k) => view.member_at(k).unwrap().to_string(),
                     None => "-".to_string(),
                 };
@@ -259,6 +260,7 @@ impl CoterieRule for GridCoterie {
         let mut col_count = vec![0usize; shape.n + 1];
         for node in s.iter() {
             // `ordered-number(V, s)` is total here because s ⊆ view.
+            // lint:allow(panic): s was intersected with the view two lines up
             let k = view.ordered_number(node).expect("s ⊆ view");
             let (_, j) = shape.position(k);
             covered[j] = true;
@@ -533,7 +535,7 @@ mod tests {
     fn pick_quorum_spreads_load() {
         let rule = GridCoterie::new();
         let view = View::first_n(16);
-        let mut distinct = std::collections::HashSet::new();
+        let mut distinct = std::collections::BTreeSet::new();
         for seed in 0..16 {
             distinct.insert(
                 rule.pick_quorum(&view, view.set(), seed, QuorumKind::Read)

@@ -185,7 +185,7 @@ mod tests {
     fn pick_quorum_is_valid_and_spreads() {
         let c = MajorityCoterie::new();
         let view = View::first_n(7);
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for seed in 0..7 {
             let q = c
                 .pick_quorum(&view, view.set(), seed, QuorumKind::Write)

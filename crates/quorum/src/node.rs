@@ -49,7 +49,7 @@ impl From<u32> for NodeId {
 ///
 /// All operations are O(1) or O(popcount). The encoding mirrors the paper's
 /// suggested "binary vector" representation of epoch lists.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct NodeSet(pub u128);
 
 impl NodeSet {

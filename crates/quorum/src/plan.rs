@@ -267,6 +267,7 @@ impl QuorumPlan {
     #[inline]
     pub fn includes_quorum(&self, s: NodeSet, kind: QuorumKind) -> bool {
         self.evaluate(s, kind)
+            // lint:allow(panic): documented contract — callers with fallback plans use includes_quorum_with
             .expect("fallback quorum plan: evaluate via includes_quorum_with")
     }
 
@@ -284,6 +285,7 @@ impl QuorumPlan {
             Some(v) => v,
             None => {
                 let PlanBody::Fallback { view } = &self.body else {
+                    // lint:allow(panic): evaluate returns None only for fallback bodies
                     unreachable!("evaluate returns None only for fallback plans");
                 };
                 rule.includes_quorum(view, s, kind)
@@ -312,9 +314,12 @@ impl QuorumPlan {
 /// set is a complete key: every shipped rule derives its structure
 /// deterministically from the ordered view, which is itself determined by
 /// the member set.
+/// (`BTreeMap` keeps cache traversal order-stable for the engine's
+/// determinism contract; the cache is tiny — one entry per live epoch —
+/// so the O(log n) lookup is irrelevant next to plan compilation.)
 #[derive(Debug, Default)]
 pub struct PlanCache {
-    plans: std::collections::HashMap<NodeSet, QuorumPlan>,
+    plans: std::collections::BTreeMap<NodeSet, QuorumPlan>,
 }
 
 impl PlanCache {

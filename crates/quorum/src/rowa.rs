@@ -115,7 +115,7 @@ mod tests {
     fn read_choice_rotates_with_seed() {
         let r = RowaCoterie::new();
         let view = View::first_n(4);
-        let picks: std::collections::HashSet<_> = (0..4)
+        let picks: std::collections::BTreeSet<_> = (0..4)
             .map(|s| {
                 r.pick_quorum(&view, view.set(), s, QuorumKind::Read)
                     .unwrap()

@@ -135,7 +135,7 @@ proptest! {
         prop_assert!(g.b < g.n);
         prop_assert!(g.m.abs_diff(g.n) <= 1);
         prop_assert_eq!(g.occupied(), n_nodes);
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for k in 1..=n_nodes {
             let (i, j) = g.position(k);
             prop_assert!(seen.insert((i, j)), "position collision at k={}", k);

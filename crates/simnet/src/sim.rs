@@ -1,5 +1,9 @@
 //! The discrete-event simulator core.
 
+// Substrate-side bookkeeping (canceled-timer set): membership-only, never
+// iterated, so hash order cannot leak into the simulation.
+#![allow(clippy::disallowed_types)]
+
 use crate::app::{Application, Ctx, Effect, TimerId};
 use crate::network::{NetConfig, NetCounters, Partition};
 use crate::time::{SimDuration, SimTime};

@@ -9,6 +9,10 @@
 //! except that time is real and scheduling is whatever the OS provides, so
 //! runs are *not* reproducible (use the simulator for experiments).
 
+// This runtime is the *real* host: wall clocks and OS bookkeeping are its
+// whole point (see the module docs — runs are intentionally irreproducible).
+#![allow(clippy::disallowed_types, clippy::disallowed_methods)]
+
 use crate::app::{Application, Ctx, Effect, TimerId};
 use crate::time::{SimDuration, SimTime};
 use coterie_quorum::NodeId;
@@ -151,6 +155,7 @@ where
             let now = Instant::now();
             match heap.peek().map(|p| p.at) {
                 Some(at) if at <= now => {
+                    // lint:allow(panic): peek returned Some under the same lock
                     let p = heap.pop().expect("peeked");
                     drop(heap);
                     let canceled = timer_shared.timers.canceled.lock().remove(&(p.node, p.id));
@@ -338,6 +343,7 @@ where
         let apps: Vec<A> = self
             .node_handles
             .drain(..)
+            // lint:allow(panic): join only fails if the node thread panicked; re-raise
             .map(|h| h.join().expect("node thread panicked"))
             .collect();
         self.shared.timers.stopping.store(true, Ordering::Release);

@@ -8,6 +8,9 @@
 //!
 //! Run with: `cargo run --release --example live_threads`
 
+// Demo on the real-thread host: wall-clock reads are the point.
+#![allow(clippy::disallowed_methods)]
+
 use bytes::Bytes;
 use dyncoterie::protocol::{
     ClientRequest, PartialWrite, ProtocolConfig, ProtocolEvent, ReplicaNode,

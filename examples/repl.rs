@@ -13,6 +13,9 @@
 //!
 //! Run with: `cargo run --release --example repl`
 
+// Interactive shell on the real-thread host: wall-clock reads are the point.
+#![allow(clippy::disallowed_methods)]
+
 use bytes::Bytes;
 use dyncoterie::protocol::{
     ClientRequest, PartialWrite, ProtocolConfig, ProtocolEvent, ReplicaNode,

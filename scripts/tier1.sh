@@ -7,7 +7,7 @@ cd "$(dirname "$0")/.."
 # The repo's own packages (vendored crates under vendor/ are kept verbatim
 # and excluded from the formatting gate).
 PACKAGES=(dyncoterie coterie-base coterie-quorum coterie-simnet coterie-core
-  coterie-markov coterie-harness coterie-bench)
+  coterie-markov coterie-harness coterie-bench coterie-lint)
 FMT_ARGS=()
 for p in "${PACKAGES[@]}"; do FMT_ARGS+=(-p "$p"); done
 
@@ -22,6 +22,9 @@ cargo test -q --workspace
 
 echo "==> cargo bench --no-run"
 cargo bench --no-run --workspace
+
+echo "==> coterie-lint --deny (determinism & effect discipline)"
+cargo run --release -p coterie-lint -- --deny --report target/lint-report.json
 
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings

@@ -3,6 +3,9 @@
 //! facade crate, including randomized fault schedules with safety
 //! invariants checked at every step.
 
+// Test-side bookkeeping; hash maps never feed engine effects.
+#![allow(clippy::disallowed_types)]
+
 use dyncoterie::harness::{
     check_run, run_scenario, FaultConfig, FaultPlan, Scenario, Workload, WorkloadConfig,
 };
