@@ -127,6 +127,8 @@ mod tests {
                 elist: elist.iter().map(|&x| NodeId(x)).collect(),
                 enumber,
                 last_good: Vec::new(),
+                wlocked: false,
+                prepared_version: None,
             },
         )
     }

@@ -66,8 +66,14 @@ pub struct ProtocolConfig {
     /// Maximum random delay a good replica waits before starting to
     /// propagate (staggers the duplicate offers the paper's design allows).
     pub propagation_jitter: SimDuration,
-    /// Delay between propagation attempts to an unreachable or busy target.
+    /// Base delay between propagation attempts to an unreachable or busy
+    /// target; actual retries back off exponentially in the per-target
+    /// failed-attempt count (capped at 2⁶×) plus jitter.
     pub propagation_retry: SimDuration,
+    /// Failed propagation attempts per target before the source gives up
+    /// on it (the epoch-checking protocol owns long-term repair). Must be
+    /// at least 1.
+    pub max_prop_attempts: u32,
     /// How long a recovered participant waits between decision queries for
     /// an in-doubt transaction.
     pub decision_retry: SimDuration,
@@ -129,6 +135,7 @@ impl ProtocolConfig {
             max_retries: 6,
             propagation_jitter: SimDuration::from_millis(20),
             propagation_retry: SimDuration::from_millis(200),
+            max_prop_attempts: 10,
             decision_retry: SimDuration::from_millis(100),
             lock_propagation: false,
             safety_threshold: 2,
@@ -178,6 +185,12 @@ impl ProtocolConfig {
     /// Uses the paper's literal locking propagation (ablation baseline).
     pub fn locking_propagation(mut self) -> Self {
         self.lock_propagation = true;
+        self
+    }
+
+    /// Caps failed propagation attempts per target (minimum 1).
+    pub fn prop_attempts(mut self, n: u32) -> Self {
+        self.max_prop_attempts = n.max(1);
         self
     }
 

@@ -1,0 +1,657 @@
+//! Deterministic byte codec for [`DurableDelta`] — the payload format of
+//! the framed journal (format v2, see DESIGN.md §9).
+//!
+//! Every field is little-endian and self-delimiting: scalars are fixed
+//! width, `Option`s carry a one-byte tag, and variable-length data is
+//! length-prefixed with a `u32` count. Encoding is a pure function of the
+//! delta — two engines that produce equal deltas produce byte-identical
+//! records, which is what lets the determinism suite compare journals
+//! across processes. Decoding never panics: every malformed input maps to
+//! a [`DecodeError`] carrying the byte offset and a description, which the
+//! framed replay turns into a quarantine verdict.
+
+use bytes::Bytes;
+use coterie_quorum::NodeId;
+
+use crate::msg::{Action, OpId};
+use crate::store::{LogEntry, PageId, PartialWrite, WriteLog};
+
+use super::storage::DurableDelta;
+
+/// A malformed journal payload: where decoding stopped and why.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DecodeError {
+    /// Byte offset within the payload at which the error was detected.
+    pub offset: usize,
+    /// What the decoder expected there.
+    pub what: &'static str,
+}
+
+/// IEEE CRC-32 (reflected, polynomial `0xEDB88320`) — the checksum the
+/// framed journal stores per record. Hand-rolled so the engine stays free
+/// of external dependencies.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &b in bytes {
+        let idx = ((crc ^ u32::from(b)) & 0xFF) as usize;
+        crc = (crc >> 8) ^ CRC32_TABLE[idx];
+    }
+    !crc
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// Encodes a delta into the journal payload format.
+pub fn encode_delta(delta: &DurableDelta) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    put_opt_u64(&mut out, delta.version);
+    put_opt_bool(&mut out, delta.stale);
+    put_opt_u64(&mut out, delta.dversion);
+    match &delta.epoch {
+        None => out.push(0),
+        Some((enumber, elist)) => {
+            out.push(1);
+            put_u64(&mut out, *enumber);
+            put_nodes(&mut out, elist);
+        }
+    }
+    put_u32(&mut out, delta.pages.len() as u32);
+    for (page, contents) in &delta.pages {
+        put_u16(&mut out, *page);
+        put_bytes(&mut out, contents);
+    }
+    match &delta.log {
+        None => out.push(0),
+        Some(log) => {
+            out.push(1);
+            put_log(&mut out, log);
+        }
+    }
+    match &delta.prepared {
+        None => out.push(0),
+        Some(slot) => {
+            out.push(1);
+            match slot {
+                None => out.push(0),
+                Some((op, action)) => {
+                    out.push(1);
+                    put_op(&mut out, *op);
+                    put_action(&mut out, action);
+                }
+            }
+        }
+    }
+    put_u32(&mut out, delta.decisions.len() as u32);
+    for (op, commit) in &delta.decisions {
+        put_op(&mut out, *op);
+        out.push(u8::from(*commit));
+    }
+    put_opt_u64(&mut out, delta.op_counter);
+    match &delta.last_good {
+        None => out.push(0),
+        Some(good) => {
+            out.push(1);
+            put_nodes(&mut out, good);
+        }
+    }
+    put_opt_u64(&mut out, delta.quarantine_fence);
+    put_opt_bool(&mut out, delta.rejoin_pending);
+    out
+}
+
+/// Decodes a journal payload back into a delta. Fails (never panics) on
+/// any truncation, bad tag, or internal inconsistency — including
+/// non-increasing write-log versions, which a bit flip can produce and
+/// which would otherwise corrupt propagation.
+pub fn decode_delta(payload: &[u8]) -> Result<DurableDelta, DecodeError> {
+    let mut r = Reader {
+        buf: payload,
+        pos: 0,
+    };
+    let mut delta = DurableDelta {
+        version: r.opt_u64()?,
+        stale: r.opt_bool()?,
+        dversion: r.opt_u64()?,
+        ..DurableDelta::default()
+    };
+    if r.tag("epoch option tag")? {
+        let enumber = r.u64("epoch number")?;
+        let elist = r.nodes()?;
+        delta.epoch = Some((enumber, elist));
+    }
+    let n_pages = r.count("page count")?;
+    for _ in 0..n_pages {
+        let page: PageId = r.u16("page id")?;
+        let contents = r.bytes("page contents")?;
+        delta.pages.push((page, contents));
+    }
+    if r.tag("log option tag")? {
+        delta.log = Some(r.log()?);
+    }
+    if r.tag("prepared option tag")? {
+        if r.tag("prepared slot tag")? {
+            let op = r.op()?;
+            let action = r.action()?;
+            delta.prepared = Some(Some((op, action)));
+        } else {
+            delta.prepared = Some(None);
+        }
+    }
+    let n_decisions = r.count("decision count")?;
+    for _ in 0..n_decisions {
+        let op = r.op()?;
+        let commit = r.bool("decision flag")?;
+        delta.decisions.push((op, commit));
+    }
+    delta.op_counter = r.opt_u64()?;
+    if r.tag("last-good option tag")? {
+        delta.last_good = Some(r.nodes()?);
+    }
+    delta.quarantine_fence = r.opt_u64()?;
+    delta.rejoin_pending = r.opt_bool()?;
+    if r.pos != r.buf.len() {
+        return Err(DecodeError {
+            offset: r.pos,
+            what: "trailing bytes after delta",
+        });
+    }
+    Ok(delta)
+}
+
+// ---- encoding primitives ------------------------------------------------
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_opt_u64(out: &mut Vec<u8>, v: Option<u64>) {
+    match v {
+        None => out.push(0),
+        Some(v) => {
+            out.push(1);
+            put_u64(out, v);
+        }
+    }
+}
+
+fn put_opt_bool(out: &mut Vec<u8>, v: Option<bool>) {
+    match v {
+        None => out.push(0),
+        Some(v) => {
+            out.push(1);
+            out.push(u8::from(v));
+        }
+    }
+}
+
+fn put_bytes(out: &mut Vec<u8>, bytes: &Bytes) {
+    put_u32(out, bytes.len() as u32);
+    out.extend_from_slice(bytes);
+}
+
+fn put_nodes(out: &mut Vec<u8>, nodes: &[NodeId]) {
+    put_u32(out, nodes.len() as u32);
+    for n in nodes {
+        put_u32(out, n.0);
+    }
+}
+
+fn put_op(out: &mut Vec<u8>, op: OpId) {
+    put_u32(out, op.node.0);
+    put_u64(out, op.seq);
+}
+
+fn put_write(out: &mut Vec<u8>, write: &PartialWrite) {
+    put_u32(out, write.pages.len() as u32);
+    for (page, contents) in &write.pages {
+        put_u16(out, *page);
+        put_bytes(out, contents);
+    }
+}
+
+fn put_log(out: &mut Vec<u8>, log: &WriteLog) {
+    put_u64(out, log.cap() as u64);
+    put_u32(out, log.len() as u32);
+    for entry in log.iter() {
+        put_u64(out, entry.version);
+        put_write(out, &entry.write);
+    }
+}
+
+fn put_action(out: &mut Vec<u8>, action: &Action) {
+    match action {
+        Action::DoUpdate {
+            write,
+            new_version,
+            stale,
+            good,
+            base,
+        } => {
+            out.push(0);
+            put_write(out, write);
+            put_u64(out, *new_version);
+            put_nodes(out, stale);
+            put_nodes(out, good);
+            match base {
+                None => out.push(0),
+                Some((pages, version)) => {
+                    out.push(1);
+                    put_u32(out, pages.len() as u32);
+                    for p in pages {
+                        put_bytes(out, p);
+                    }
+                    put_u64(out, *version);
+                }
+            }
+        }
+        Action::MarkStale { desired_version } => {
+            out.push(1);
+            put_u64(out, *desired_version);
+        }
+        Action::NewEpoch {
+            list,
+            enumber,
+            good,
+            stale,
+            desired_version,
+        } => {
+            out.push(2);
+            put_nodes(out, list);
+            put_u64(out, *enumber);
+            put_nodes(out, good);
+            put_nodes(out, stale);
+            put_u64(out, *desired_version);
+        }
+    }
+}
+
+// ---- decoding primitives ------------------------------------------------
+
+/// Caps decoded collection counts: a corrupted length prefix must produce
+/// a [`DecodeError`], not an attempted multi-gigabyte allocation. The cap
+/// is generous (every real delta is orders of magnitude smaller) and only
+/// bounds the *initial reservation*; actual element reads still hit
+/// end-of-input first if the count lies.
+const MAX_COUNT: u32 = 1 << 20;
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn err(&self, what: &'static str) -> DecodeError {
+        DecodeError {
+            offset: self.pos,
+            what,
+        }
+    }
+
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], DecodeError> {
+        let end = self.pos.checked_add(n).ok_or(self.err(what))?;
+        if end > self.buf.len() {
+            return Err(self.err(what));
+        }
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self, what: &'static str) -> Result<u8, DecodeError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u16(&mut self, what: &'static str) -> Result<u16, DecodeError> {
+        let s = self.take(2, what)?;
+        Ok(u16::from_le_bytes([s[0], s[1]]))
+    }
+
+    fn u32(&mut self, what: &'static str) -> Result<u32, DecodeError> {
+        let s = self.take(4, what)?;
+        Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+    }
+
+    fn u64(&mut self, what: &'static str) -> Result<u64, DecodeError> {
+        let s = self.take(8, what)?;
+        let mut b = [0u8; 8];
+        b.copy_from_slice(s);
+        Ok(u64::from_le_bytes(b))
+    }
+
+    fn bool(&mut self, what: &'static str) -> Result<bool, DecodeError> {
+        match self.u8(what)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => {
+                self.pos -= 1;
+                Err(self.err(what))
+            }
+        }
+    }
+
+    fn tag(&mut self, what: &'static str) -> Result<bool, DecodeError> {
+        self.bool(what)
+    }
+
+    fn count(&mut self, what: &'static str) -> Result<u32, DecodeError> {
+        let n = self.u32(what)?;
+        if n > MAX_COUNT {
+            self.pos -= 4;
+            return Err(self.err(what));
+        }
+        Ok(n)
+    }
+
+    fn opt_u64(&mut self) -> Result<Option<u64>, DecodeError> {
+        if self.tag("u64 option tag")? {
+            Ok(Some(self.u64("u64 value")?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn opt_bool(&mut self) -> Result<Option<bool>, DecodeError> {
+        if self.tag("bool option tag")? {
+            Ok(Some(self.bool("bool value")?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn bytes(&mut self, what: &'static str) -> Result<Bytes, DecodeError> {
+        let len = self.count(what)? as usize;
+        let slice = self.take(len, what)?;
+        Ok(Bytes::copy_from_slice(slice))
+    }
+
+    fn nodes(&mut self) -> Result<Vec<NodeId>, DecodeError> {
+        let n = self.count("node count")?;
+        let mut out = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            out.push(NodeId(self.u32("node id")?));
+        }
+        Ok(out)
+    }
+
+    fn op(&mut self) -> Result<OpId, DecodeError> {
+        let node = NodeId(self.u32("op node")?);
+        let seq = self.u64("op seq")?;
+        Ok(OpId { node, seq })
+    }
+
+    fn write(&mut self) -> Result<PartialWrite, DecodeError> {
+        let n = self.count("write page count")?;
+        let mut pages = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            let page: PageId = self.u16("write page id")?;
+            let contents = self.bytes("write page contents")?;
+            pages.push((page, contents));
+        }
+        // Direct construction (not `PartialWrite::new`) preserves the
+        // encoded order byte-for-byte; the encoder only ever sees
+        // already-deduplicated writes.
+        Ok(PartialWrite { pages })
+    }
+
+    fn log(&mut self) -> Result<WriteLog, DecodeError> {
+        let cap = self.u64("log cap")?;
+        if cap > u64::from(MAX_COUNT) {
+            self.pos -= 8;
+            return Err(self.err("log cap"));
+        }
+        let n = self.count("log entry count")?;
+        if u64::from(n) > cap {
+            return Err(self.err("log entry count exceeds cap"));
+        }
+        let mut log = WriteLog::new(cap as usize);
+        let mut last_version = 0u64;
+        for i in 0..n {
+            let version = self.u64("log entry version")?;
+            if i > 0 && version <= last_version {
+                return Err(self.err("log versions must increase"));
+            }
+            last_version = version;
+            let write = self.write()?;
+            log.push(LogEntry { version, write });
+        }
+        Ok(log)
+    }
+
+    fn action(&mut self) -> Result<Action, DecodeError> {
+        match self.u8("action tag")? {
+            0 => {
+                let write = self.write()?;
+                let new_version = self.u64("action new_version")?;
+                let stale = self.nodes()?;
+                let good = self.nodes()?;
+                let base = if self.tag("base option tag")? {
+                    let n = self.count("base page count")?;
+                    let mut pages = Vec::with_capacity(n as usize);
+                    for _ in 0..n {
+                        pages.push(self.bytes("base page")?);
+                    }
+                    let version = self.u64("base version")?;
+                    Some((pages, version))
+                } else {
+                    None
+                };
+                Ok(Action::DoUpdate {
+                    write,
+                    new_version,
+                    stale,
+                    good,
+                    base,
+                })
+            }
+            1 => {
+                let desired_version = self.u64("mark-stale desired version")?;
+                Ok(Action::MarkStale { desired_version })
+            }
+            2 => {
+                let list = self.nodes()?;
+                let enumber = self.u64("new-epoch number")?;
+                let good = self.nodes()?;
+                let stale = self.nodes()?;
+                let desired_version = self.u64("new-epoch desired version")?;
+                Ok(Action::NewEpoch {
+                    list,
+                    enumber,
+                    good,
+                    stale,
+                    desired_version,
+                })
+            }
+            _ => {
+                self.pos -= 1;
+                Err(self.err("action tag"))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ProtocolConfig;
+    use crate::node::Durable;
+    use coterie_quorum::GridCoterie;
+    use std::sync::Arc;
+
+    fn b(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    fn rich_delta() -> DurableDelta {
+        let config = ProtocolConfig::new(Arc::new(GridCoterie::new()), 4);
+        let old = Durable::pristine(&config);
+        let mut new = old.clone();
+        new.version = 7;
+        new.stale = true;
+        new.dversion = 9;
+        new.enumber = 3;
+        new.elist = vec![NodeId(0), NodeId(2), NodeId(3)];
+        new.object
+            .apply(&PartialWrite::new([(0, b("aa")), (2, b(""))]));
+        new.log.push(LogEntry {
+            version: 7,
+            write: PartialWrite::new([(0, b("aa"))]),
+        });
+        new.prepared = Some((
+            OpId {
+                node: NodeId(2),
+                seq: 40,
+            },
+            Action::NewEpoch {
+                list: vec![NodeId(0), NodeId(1)],
+                enumber: 4,
+                good: vec![NodeId(0)],
+                stale: vec![NodeId(1)],
+                desired_version: 8,
+            },
+        ));
+        new.decisions.insert(
+            OpId {
+                node: NodeId(0),
+                seq: 1,
+            },
+            true,
+        );
+        new.decisions.insert(
+            OpId {
+                node: NodeId(0),
+                seq: 2,
+            },
+            false,
+        );
+        new.op_counter = 12;
+        new.last_good = vec![NodeId(0), NodeId(2)];
+        new.quarantine_fence = 1_000_000;
+        new.rejoin_pending = true;
+        DurableDelta::diff(&old, &new).expect("changed")
+    }
+
+    #[test]
+    fn round_trips_rich_delta() {
+        let delta = rich_delta();
+        let encoded = encode_delta(&delta);
+        let decoded = decode_delta(&encoded).expect("decodes");
+        assert_eq!(decoded, delta);
+    }
+
+    #[test]
+    fn round_trips_empty_delta() {
+        let delta = DurableDelta::default();
+        let decoded = decode_delta(&encode_delta(&delta)).expect("decodes");
+        assert_eq!(decoded, delta);
+    }
+
+    #[test]
+    fn round_trips_each_action() {
+        for action in [
+            Action::DoUpdate {
+                write: PartialWrite::new([(1, b("x"))]),
+                new_version: 2,
+                stale: vec![NodeId(3)],
+                good: vec![NodeId(0), NodeId(1)],
+                base: Some((vec![b("p0"), b("p1")], 1)),
+            },
+            Action::MarkStale { desired_version: 5 },
+            Action::NewEpoch {
+                list: vec![NodeId(0)],
+                enumber: 1,
+                good: vec![],
+                stale: vec![],
+                desired_version: 0,
+            },
+        ] {
+            let delta = DurableDelta {
+                prepared: Some(Some((
+                    OpId {
+                        node: NodeId(1),
+                        seq: 3,
+                    },
+                    action.clone(),
+                ))),
+                ..DurableDelta::default()
+            };
+            let decoded = decode_delta(&encode_delta(&delta)).expect("decodes");
+            assert_eq!(decoded, delta);
+        }
+    }
+
+    #[test]
+    fn every_truncation_errors_not_panics() {
+        let encoded = encode_delta(&rich_delta());
+        for cut in 0..encoded.len() {
+            let err = decode_delta(&encoded[..cut]);
+            assert!(err.is_err(), "prefix of {cut} bytes must not decode");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut encoded = encode_delta(&DurableDelta::default());
+        encoded.push(0);
+        let err = decode_delta(&encoded).expect_err("trailing byte");
+        assert_eq!(err.what, "trailing bytes after delta");
+    }
+
+    #[test]
+    fn bad_tags_error_with_offset() {
+        // Version option tag must be 0 or 1.
+        let err = decode_delta(&[9]).expect_err("bad tag");
+        assert_eq!(err.offset, 0);
+    }
+
+    #[test]
+    fn huge_count_is_rejected_without_allocation() {
+        // stale=None, version=None, dversion=None, epoch=None, then a
+        // page count of u32::MAX.
+        let mut buf = vec![0, 0, 0, 0];
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        let err = decode_delta(&buf).expect_err("count too large");
+        assert_eq!(err.what, "page count");
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE CRC-32 check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"hello"), 0x3610_A686);
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let delta = rich_delta();
+        assert_eq!(encode_delta(&delta), encode_delta(&delta));
+    }
+}

@@ -5,8 +5,11 @@
 //! This is the building block for schedule exploration: because the driver
 //! is `Clone`, an explorer can fork the cluster at any point and try every
 //! enabled event from the same state. It also journals every
-//! [`Effect::Persist`] into a per-node [`MemJournal`], so crash-replay
-//! tests can compare reconstructed durable state against the live engine.
+//! [`Effect::Persist`] into a per-node [`FramedJournal`], so crash-replay
+//! tests can compare reconstructed durable state against the live engine —
+//! and, through the per-node [`Failpoints`], storage faults (failed,
+//! torn, or bit-flipped appends) can be injected at the journal boundary
+//! deterministically.
 
 use std::fmt::Write as _;
 
@@ -17,8 +20,9 @@ use crate::config::ProtocolConfig;
 use crate::msg::{ClientRequest, Msg, ProtocolEvent};
 use crate::node::{Durable, ReplicaNode, Timer};
 
+use super::failpoint::{sites, Failpoints, FaultKind, FiredFault};
 use super::io::{Effect, Input};
-use super::storage::{MemJournal, StableStorage};
+use super::storage::{DurableDelta, FramedJournal, FramedReplay, StableStorage};
 
 /// An in-flight protocol message.
 #[derive(Clone, Debug)]
@@ -67,12 +71,17 @@ pub struct StepDriver {
     messages: Vec<Envelope>,
     timers: Vec<PendingTimer>,
     outputs: Vec<(SimTime, NodeId, ProtocolEvent)>,
-    journals: Vec<MemJournal>,
+    journals: Vec<FramedJournal>,
+    failpoints: Vec<Failpoints>,
+    /// Partition island id per node; nodes in different islands cannot
+    /// exchange messages (deliveries bounce as `CallFailed`).
+    partition: Vec<u8>,
 }
 
 impl StepDriver {
     /// Builds and boots an `n`-node cluster.
     pub fn new(n: usize, config: ProtocolConfig) -> Self {
+        let seed = config.seed;
         let mut driver = StepDriver {
             nodes: (0..n as u32)
                 .map(|id| ReplicaNode::new(NodeId(id), config.clone()))
@@ -83,7 +92,11 @@ impl StepDriver {
             messages: Vec::new(),
             timers: Vec::new(),
             outputs: Vec::new(),
-            journals: vec![MemJournal::new(); n],
+            journals: vec![FramedJournal::new(); n],
+            failpoints: (0..n as u64)
+                .map(|id| Failpoints::new(seed ^ (id << 32)))
+                .collect(),
+            partition: vec![0; n],
         };
         for id in 0..n as u32 {
             driver.step_node(NodeId(id), Input::Boot);
@@ -138,14 +151,55 @@ impl StepDriver {
         &self.outputs
     }
 
-    /// The per-node journal of persisted deltas.
-    pub fn journal(&self, node: NodeId) -> &MemJournal {
+    /// The per-node framed journal of persisted deltas.
+    pub fn journal(&self, node: NodeId) -> &FramedJournal {
         &self.journals[node.0 as usize]
     }
 
     /// Reconstructs `node`'s durable state purely from its journal.
     pub fn replay_journal(&self, node: NodeId) -> Durable {
         self.journals[node.0 as usize].replay(&self.config)
+    }
+
+    /// Checked replay of `node`'s journal: durable state plus the framing
+    /// verdict (clean / torn tail / quarantined).
+    pub fn replay_checked(&self, node: NodeId) -> FramedReplay {
+        self.journals[node.0 as usize].replay_checked(&self.config)
+    }
+
+    /// Arms a one-shot storage fault at `node`'s next journal append.
+    pub fn arm_storage_fault(&mut self, node: NodeId, kind: FaultKind) {
+        self.failpoints[node.0 as usize].arm(sites::JOURNAL_APPEND, kind);
+    }
+
+    /// Sets a probabilistic storage-fault rate (per mille per append) at
+    /// `node`'s journal. Zero removes the rate.
+    pub fn set_storage_fault_rate(&mut self, node: NodeId, kind: FaultKind, per_mille: u16) {
+        self.failpoints[node.0 as usize].set_rate(sites::JOURNAL_APPEND, kind, per_mille);
+    }
+
+    /// Storage faults that actually fired at `node`, in order.
+    pub fn fired_faults(&self, node: NodeId) -> &[FiredFault] {
+        self.failpoints[node.0 as usize].fired()
+    }
+
+    /// Splits the cluster into partition islands: `islands[i]` is node
+    /// `i`'s island id, and messages between different islands bounce as
+    /// `CallFailed` (the fail-stop notification — an unreachable peer is
+    /// indistinguishable from a crashed one in this model).
+    pub fn set_partition(&mut self, islands: Vec<u8>) {
+        assert_eq!(islands.len(), self.nodes.len(), "one island id per node");
+        self.partition = islands;
+    }
+
+    /// Heals all partitions.
+    pub fn heal_partition(&mut self) {
+        self.partition = vec![0; self.nodes.len()];
+    }
+
+    /// True if `a` and `b` can currently exchange messages.
+    pub fn connected(&self, a: NodeId, b: NodeId) -> bool {
+        self.partition[a.0 as usize] == self.partition[b.0 as usize]
     }
 
     /// Delivers the `i`-th pending message. If the destination is down the
@@ -159,7 +213,7 @@ impl StepDriver {
     pub fn deliver(&mut self, i: usize) {
         self.now += SimDuration::from_micros(1);
         let env = self.messages.remove(i);
-        if self.down[env.to.0 as usize] {
+        if self.down[env.to.0 as usize] || !self.connected(env.from, env.to) {
             if !self.down[env.from.0 as usize] {
                 self.step_node(
                     env.from,
@@ -198,11 +252,27 @@ impl StepDriver {
         self.step_node(node, Input::Crash);
     }
 
-    /// Restarts a crashed node (durable state intact).
+    /// Restarts a crashed node from its journal, exactly as a real host
+    /// would: the engine's in-memory durable state is discarded and the
+    /// checked replay decides how to boot. A clean or torn-tail journal
+    /// boots normally (the torn tail is truncated first — it was never
+    /// acknowledged). A quarantined journal boots into the stale-rejoin
+    /// protocol: the longest intact prefix is installed, the damaged
+    /// history is discarded, and the node re-enters the cluster stale.
     pub fn recover(&mut self, node: NodeId) {
         assert!(self.down[node.0 as usize], "node not down");
         self.down[node.0 as usize] = false;
-        self.step_node(node, Input::Boot);
+        let i = node.0 as usize;
+        let replay = self.journals[i].replay_checked(&self.config);
+        if replay.verdict.is_bootable() {
+            self.journals[i].truncate_tail();
+            self.nodes[i].install_durable(replay.durable);
+            self.step_node(node, Input::Boot);
+        } else {
+            self.journals[i].reset_to(&replay.durable, &self.config);
+            self.nodes[i].install_durable(replay.durable);
+            self.step_node(node, Input::BootQuarantined);
+        }
     }
 
     /// Runs a fixed, deterministic schedule for `d` of driver time: pending
@@ -262,8 +332,49 @@ impl StepDriver {
                 Effect::CancelTimer(id) => {
                     self.timers.retain(|t| !(t.node == node && t.id == id));
                 }
-                Effect::Persist(delta) => self.journals[node.0 as usize].append(&delta),
+                Effect::Persist(delta) => {
+                    if !self.persist(node, &delta) {
+                        // The append failed (wholly or torn): the write
+                        // never became stable, so the effects that were to
+                        // follow it must not happen — the node fail-stops
+                        // mid-step, exactly like a crash between the disk
+                        // write and the acks it would have covered.
+                        self.down[node.0 as usize] = true;
+                        self.timers.retain(|t| t.node != node);
+                        self.step_node(node, Input::Crash);
+                        return;
+                    }
+                }
                 Effect::Output(ev) => self.outputs.push((self.now, node, ev)),
+            }
+        }
+    }
+
+    /// Appends `delta` to `node`'s journal, consulting the failpoint
+    /// registry. Returns false if the node must fail-stop (append failed
+    /// or tore). A bit-flip fault appends normally, then silently corrupts
+    /// a random journal bit — latent damage discovered at the next replay.
+    fn persist(&mut self, node: NodeId, delta: &DurableDelta) -> bool {
+        let i = node.0 as usize;
+        match self.failpoints[i].check(sites::JOURNAL_APPEND) {
+            None => {
+                self.journals[i].append_delta(delta);
+                true
+            }
+            Some(FaultKind::AppendFail) => false,
+            Some(FaultKind::TornWrite) => {
+                let record_len = super::codec::encode_delta(delta).len() + 8;
+                let keep = self.failpoints[i].draw(record_len as u64) as usize;
+                self.journals[i].append_torn(delta, keep);
+                false
+            }
+            Some(FaultKind::BitFlip) => {
+                self.journals[i].append_delta(delta);
+                let len = self.journals[i].bytes().len() as u64;
+                let byte = self.failpoints[i].draw(len) as usize;
+                let bit = self.failpoints[i].draw(8) as u8;
+                self.journals[i].flip_bit(byte, bit);
+                true
             }
         }
     }
@@ -276,7 +387,11 @@ impl StepDriver {
     pub fn state_digest(&self) -> u64 {
         let mut repr = String::new();
         for (i, node) in self.nodes.iter().enumerate() {
-            let _ = write!(repr, "n{i};down={};", self.down[i]);
+            let _ = write!(
+                repr,
+                "n{i};down={};isl={};",
+                self.down[i], self.partition[i]
+            );
             canonical_node(&mut repr, node);
         }
         let mut msgs: Vec<String> = self
@@ -309,7 +424,7 @@ fn canonical_node(out: &mut String, node: &ReplicaNode) {
     let d = &node.durable;
     let _ = write!(
         out,
-        "v={},st={},dv={},e={},el={:?},obj={:x},log=({},{}),prep={:?},opc={},lg={:?};",
+        "v={},st={},dv={},e={},el={:?},obj={:x},log=({},{}),prep={:?},opc={},lg={:?},qf={};",
         d.version,
         d.stale,
         d.dversion,
@@ -321,6 +436,7 @@ fn canonical_node(out: &mut String, node: &ReplicaNode) {
         d.prepared,
         d.op_counter,
         d.last_good,
+        d.quarantine_fence,
     );
     // Durable/Volatile keyed state lives in BTree collections, so plain
     // iteration is already in canonical (ascending-key) order.
@@ -354,10 +470,11 @@ fn canonical_node(out: &mut String, node: &ReplicaNode) {
     let retry: Vec<_> = v.decision_retry_armed.iter().copied().collect();
     let _ = write!(
         out,
-        "eck=({:?},{},{});dra={retry:?};elec={:?};seq={};rng={:?};",
+        "eck=({:?},{},{});dra={retry:?};rej={:?};elec={:?};seq={};rng={:?};",
         v.last_epoch_check_seen,
         v.epoch_check_active,
         v.epoch_retry_armed,
+        v.rejoin,
         v.election,
         node.timer_seq,
         node.rng,

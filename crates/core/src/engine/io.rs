@@ -20,6 +20,14 @@ pub enum Input {
     /// timers. Fired once before any other input, and again after `Crash`
     /// when the node comes back up.
     Boot,
+    /// The node restarts after its host *quarantined* the journal: replay
+    /// found damage inside the acknowledged record prefix (see
+    /// [`ReplayVerdict::Quarantined`](super::storage::ReplayVerdict)).
+    /// The installed durable state is the longest intact prefix and must
+    /// not be trusted as current: the engine marks itself stale, fences
+    /// possibly-lost 2PC decisions, and runs the stale-rejoin protocol
+    /// ([`crate::rejoin`]) instead of booting normally.
+    BootQuarantined,
     /// The node fail-stops: all volatile state is lost; durable state (and
     /// only durable state) survives into the next `Boot`.
     Crash,
@@ -77,7 +85,9 @@ pub enum Effect {
     /// first, so a host that journals the delta and then applies the rest
     /// preserves the protocol's write-ahead discipline (2PC prepare records
     /// and epoch installations hit disk before the acks that reveal them).
-    Persist(DurableDelta),
+    /// Boxed: a delta carries whole-object snapshots and epoch lists, far
+    /// larger than any other variant, and effects move through `Vec`s.
+    Persist(Box<DurableDelta>),
     /// Surface a client-visible protocol event (operation completion,
     /// epoch installation, ...).
     Output(ProtocolEvent),

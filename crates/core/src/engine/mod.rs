@@ -29,19 +29,26 @@
 //! that care about real durability append deltas to a [`StableStorage`]
 //! journal; replaying the journal reconstructs `Durable` after a crash.
 
+pub mod codec;
 pub mod ctx;
 pub mod driver;
+pub mod failpoint;
 pub mod io;
 pub mod rng;
 pub mod step;
 pub mod storage;
 
+pub use codec::{crc32, decode_delta, encode_delta, DecodeError};
 pub use coterie_base::{SimDuration, SimTime, TimerId};
 pub use ctx::NodeCtx;
 pub use driver::{DriverEvent, StepDriver};
+pub use failpoint::{sites, Failpoints, FaultKind, FiredFault};
 pub use io::{Effect, Input};
 pub use rng::Rng64;
-pub use storage::{DurableDelta, MemJournal, StableStorage};
+pub use storage::{
+    DurableDelta, FramedJournal, FramedReplay, MemJournal, QuarantineReason, ReplayVerdict,
+    StableStorage,
+};
 
 #[allow(unused_imports)] // doc links
 use crate::node::ReplicaNode;

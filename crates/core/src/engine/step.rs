@@ -47,7 +47,7 @@ impl ReplicaNode {
                 self.shadow, self.durable,
                 "delta must capture the full change"
             );
-            effects.insert(0, Effect::Persist(delta));
+            effects.insert(0, Effect::Persist(Box::new(delta)));
         }
         effects
     }
@@ -55,6 +55,7 @@ impl ReplicaNode {
     fn dispatch(&mut self, ctx: &mut NodeCtx<'_>, input: Input) {
         match input {
             Input::Boot => self.handle_boot(ctx),
+            Input::BootQuarantined => self.handle_boot_quarantined(ctx),
             Input::Crash => self.vol = Volatile::default(),
             Input::Deliver { from, msg } => self.handle_message(ctx, from, msg),
             Input::CallFailed { to, msg } => self.handle_call_failed(ctx, to, msg),
@@ -73,6 +74,15 @@ impl ReplicaNode {
         if matches!(self.config.mode, Mode::Dynamic { .. }) {
             self.arm_epoch_tick(ctx);
         }
+        // A crash during the stale-rejoin handshake can replay clean (the
+        // quarantined boot's own delta healed the journal), landing here
+        // instead of in `handle_boot_quarantined`. The durable flag keeps
+        // the interruption visible: re-enter the poll, because until it
+        // completes this replica's desired version lacks the rejoin bound
+        // and must not be trusted.
+        if self.durable.rejoin_pending {
+            self.start_rejoin(ctx);
+        }
     }
 
     fn handle_message(&mut self, ctx: &mut NodeCtx<'_>, from: coterie_quorum::NodeId, msg: Msg) {
@@ -85,7 +95,7 @@ impl ReplicaNode {
                 self.on_state_resp(ctx, from, op, granted, state)
             }
             Msg::Release { op } => self.release_lock(ctx, op),
-            Msg::Prepare { op, action } => self.srv_prepare(ctx, from, op, action),
+            Msg::Prepare { op, action, extra } => self.srv_prepare(ctx, from, op, action, extra),
             Msg::Vote { op, yes } => self.on_vote(ctx, from, op, yes),
             Msg::Decision { op, commit } => self.srv_decision(ctx, from, op, commit),
             Msg::DecisionQuery { op } => self.srv_decision_query(ctx, from, op),
@@ -105,6 +115,8 @@ impl ReplicaNode {
             Msg::Election { round } => self.srv_election(ctx, from, round),
             Msg::ElectionAlive { round } => self.on_election_alive(ctx, from, round),
             Msg::Coordinator => self.srv_coordinator(ctx, from),
+            Msg::RejoinQuery { op } => self.srv_rejoin_query(ctx, from, op),
+            Msg::RejoinInfo { op, state } => self.on_rejoin_info(ctx, from, op, state),
         }
     }
 
@@ -135,7 +147,11 @@ impl ReplicaNode {
             }
             // Lost responses and notifications are covered by coordinator
             // timeouts; lost decisions are re-fetched by the participant.
-            Msg::StateResp { .. }
+            // An unreachable rejoin peer is retried by the RejoinRetry
+            // timer chain.
+            Msg::RejoinQuery { .. }
+            | Msg::RejoinInfo { .. }
+            | Msg::StateResp { .. }
             | Msg::Vote { .. }
             | Msg::Decision { .. }
             | Msg::Release { .. }
@@ -164,6 +180,7 @@ impl ReplicaNode {
             Timer::PropTimeout { prop } => self.on_prop_timeout(ctx, prop),
             Timer::PropLease { prop } => self.on_prop_lease(ctx, prop),
             Timer::DecisionRetry { op } => self.on_decision_retry(ctx, op),
+            Timer::RejoinRetry => self.on_rejoin_retry(ctx),
             Timer::ElectionTimeout { round } => self.on_election_timeout(ctx, round),
         }
     }

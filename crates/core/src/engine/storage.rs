@@ -53,6 +53,10 @@ pub struct DurableDelta {
     pub op_counter: Option<u64>,
     /// New good list from the most recent write.
     pub last_good: Option<Vec<NodeId>>,
+    /// New quarantine fence (see [`Durable::quarantine_fence`]).
+    pub quarantine_fence: Option<u64>,
+    /// New rejoin-pending flag (see [`Durable::rejoin_pending`]).
+    pub rejoin_pending: Option<bool>,
 }
 
 impl DurableDelta {
@@ -115,6 +119,12 @@ impl DurableDelta {
         if new.last_good != old.last_good {
             d.last_good = Some(new.last_good.clone());
         }
+        if new.quarantine_fence != old.quarantine_fence {
+            d.quarantine_fence = Some(new.quarantine_fence);
+        }
+        if new.rejoin_pending != old.rejoin_pending {
+            d.rejoin_pending = Some(new.rejoin_pending);
+        }
         if d == DurableDelta::default() {
             None
         } else {
@@ -154,6 +164,12 @@ impl DurableDelta {
         }
         if let Some(g) = &self.last_good {
             durable.last_good = g.clone();
+        }
+        if let Some(f) = self.quarantine_fence {
+            durable.quarantine_fence = f;
+        }
+        if let Some(p) = self.rejoin_pending {
+            durable.rejoin_pending = p;
         }
     }
 }
@@ -239,6 +255,359 @@ impl StableStorage for MemJournal {
     }
 }
 
+/// Journal format v2 magic bytes (`"CTJ2"`).
+pub const JOURNAL_MAGIC: [u8; 4] = *b"CTJ2";
+
+/// Byte length of the v2 header: magic, record count, count checksum.
+pub const JOURNAL_HEADER_LEN: usize = 16;
+
+/// Why a replay quarantined a journal instead of recovering from it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QuarantineReason {
+    /// The magic bytes are wrong: this is not a v2 journal.
+    BadMagic,
+    /// The record-count header fails its checksum — the commit pointer
+    /// itself is corrupt, so *which* records were acknowledged is unknown.
+    HeaderCorrupt,
+    /// A committed record (index < header count) extends past the end of
+    /// the journal.
+    RecordTruncated {
+        /// 0-based index of the bad record.
+        index: u64,
+    },
+    /// A committed record's payload fails its CRC-32.
+    ChecksumMismatch {
+        /// 0-based index of the bad record.
+        index: u64,
+    },
+    /// A committed record's payload checksums correctly but does not
+    /// decode as a [`DurableDelta`] (format damage the CRC missed, or an
+    /// internal inconsistency such as non-increasing log versions).
+    Undecodable {
+        /// 0-based index of the bad record.
+        index: u64,
+        /// What the decoder objected to.
+        what: &'static str,
+    },
+}
+
+/// The outcome of a checked replay of a framed journal.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReplayVerdict {
+    /// Every committed record replayed and no extra bytes followed.
+    Clean,
+    /// All committed records replayed; trailing bytes past the last
+    /// committed record were dropped. This is the signature of a torn
+    /// final append — the record was never acknowledged (the count was
+    /// not bumped), so dropping it is a correct crash recovery.
+    TornTail {
+        /// Unacknowledged bytes dropped from the tail.
+        dropped_bytes: usize,
+    },
+    /// A record *inside* the committed prefix is damaged. Acknowledged
+    /// durable state has been lost; the replica must not trust the
+    /// replayed prefix as current and instead rejoins the cluster stale
+    /// (see `handle_boot_quarantined`).
+    Quarantined {
+        /// What was damaged.
+        reason: QuarantineReason,
+    },
+}
+
+impl ReplayVerdict {
+    /// True when the replayed state may boot normally (clean or torn
+    /// tail); false when the replica must take the stale-rejoin path.
+    pub fn is_bootable(&self) -> bool {
+        !matches!(self, ReplayVerdict::Quarantined { .. })
+    }
+}
+
+/// A checked replay: the reconstructed durable state (of the longest
+/// intact committed prefix), how many records built it, and the verdict.
+#[derive(Clone, Debug)]
+pub struct FramedReplay {
+    /// State rebuilt from the intact committed prefix.
+    pub durable: Durable,
+    /// Records applied to build it.
+    pub records_applied: u64,
+    /// What the replay concluded about the journal.
+    pub verdict: ReplayVerdict,
+}
+
+/// Journal format v2: a byte buffer of length-prefixed, CRC-checksummed
+/// [`DurableDelta`] records behind a checksummed record-count header.
+///
+/// Layout:
+///
+/// ```text
+/// [magic "CTJ2" | count: u64 LE | crc32(count bytes): u32 LE]   header, 16 B
+/// [len: u32 LE | crc32(payload): u32 LE | payload: len B]*      records
+/// ```
+///
+/// An append writes the whole record *after* the current end, then bumps
+/// the count header (the commit point, one atomic in-place sector write).
+/// A crash between the two leaves a complete-but-uncommitted or torn
+/// record after the committed prefix — replay drops it as
+/// [`ReplayVerdict::TornTail`]. Damage *inside* the committed prefix
+/// (checksum or decode failure, truncation, corrupt header) can only come
+/// from media corruption and yields [`ReplayVerdict::Quarantined`]:
+/// acknowledged state was lost, and recovering "as far as we got" would
+/// silently forget 2PC votes and decisions the cluster already observed.
+#[derive(Clone, Debug)]
+pub struct FramedJournal {
+    buf: Vec<u8>,
+    /// Mirror of the committed record count (authoritative for appends;
+    /// replay always re-reads it from the buffer).
+    count: u64,
+    appended_total: u64,
+}
+
+impl Default for FramedJournal {
+    fn default() -> Self {
+        FramedJournal::new()
+    }
+}
+
+impl FramedJournal {
+    /// A fresh journal holding only the header (count 0).
+    pub fn new() -> Self {
+        let mut j = FramedJournal {
+            buf: Vec::with_capacity(256),
+            count: 0,
+            appended_total: 0,
+        };
+        j.buf.extend_from_slice(&JOURNAL_MAGIC);
+        j.buf.extend_from_slice(&0u64.to_le_bytes());
+        j.buf
+            .extend_from_slice(&super::codec::crc32(&0u64.to_le_bytes()).to_le_bytes());
+        j
+    }
+
+    /// Adopts raw bytes as a journal (mutation tests and host recovery).
+    /// The count mirror is taken from the header if it is intact, else 0 —
+    /// appending to a corrupt journal is not meaningful anyway.
+    pub fn from_bytes(buf: Vec<u8>) -> Self {
+        let count = read_committed_count(&buf).unwrap_or(0);
+        FramedJournal {
+            buf,
+            count,
+            appended_total: count,
+        }
+    }
+
+    /// The raw journal bytes (determinism tests serialize these).
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Committed records, per the append-side mirror.
+    pub fn committed_records(&self) -> u64 {
+        self.count
+    }
+
+    /// Total records appended over the journal's lifetime (resets and
+    /// torn appends included).
+    pub fn appended_total(&self) -> u64 {
+        self.appended_total
+    }
+
+    /// Appends one record and commits it by bumping the count header.
+    pub fn append_delta(&mut self, delta: &DurableDelta) {
+        let payload = super::codec::encode_delta(delta);
+        self.buf
+            .extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        self.buf
+            .extend_from_slice(&super::codec::crc32(&payload).to_le_bytes());
+        self.buf.extend_from_slice(&payload);
+        self.count += 1;
+        self.appended_total += 1;
+        self.rewrite_header();
+    }
+
+    /// A torn append: only `keep` bytes of the record reach the journal
+    /// and the count is *not* bumped — the on-media state after a crash
+    /// mid-append. At least one byte is always dropped (a fully-written
+    /// record would be indistinguishable from a pre-commit crash, which
+    /// is the same recovery anyway).
+    pub fn append_torn(&mut self, delta: &DurableDelta, keep: usize) {
+        let payload = super::codec::encode_delta(delta);
+        let mut record = Vec::with_capacity(8 + payload.len());
+        record.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        record.extend_from_slice(&super::codec::crc32(&payload).to_le_bytes());
+        record.extend_from_slice(&payload);
+        let keep = keep.min(record.len().saturating_sub(1));
+        self.buf.extend_from_slice(&record[..keep]);
+        self.appended_total += 1;
+    }
+
+    /// Flips one bit in place; returns false if `byte` is out of range.
+    pub fn flip_bit(&mut self, byte: usize, bit: u8) -> bool {
+        match self.buf.get_mut(byte) {
+            Some(b) => {
+                *b ^= 1u8 << (bit % 8);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Drops unacknowledged bytes past the last committed record — the
+    /// torn tail a crash mid-append leaves behind. Recovery must call this
+    /// before appending again, or the next record would land after the
+    /// garbage and corrupt the committed prefix. Returns the bytes
+    /// dropped. A journal whose committed prefix does not parse (a
+    /// quarantine case) is left untouched; [`reset_to`](Self::reset_to)
+    /// owns that recovery.
+    pub fn truncate_tail(&mut self) -> usize {
+        if self.buf.len() < JOURNAL_HEADER_LEN || self.buf[..4] != JOURNAL_MAGIC {
+            return 0;
+        }
+        let Some(count) = read_committed_count(&self.buf) else {
+            return 0;
+        };
+        let mut pos = JOURNAL_HEADER_LEN;
+        for _ in 0..count {
+            let Some(header) = self.buf.get(pos..pos + 8) else {
+                return 0;
+            };
+            let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]) as usize;
+            if self.buf.len() < pos + 8 + len {
+                return 0;
+            }
+            pos += 8 + len;
+        }
+        let dropped = self.buf.len() - pos;
+        self.buf.truncate(pos);
+        self.count = count;
+        dropped
+    }
+
+    /// Replaces the journal with a fresh one whose single record carries
+    /// `durable` (as a delta from pristine). This is the quarantine-
+    /// recovery baseline: the damaged history is discarded and the
+    /// journal restarts from the state the replica rejoined with.
+    pub fn reset_to(&mut self, durable: &Durable, config: &ProtocolConfig) {
+        let mut fresh = FramedJournal::new();
+        if let Some(delta) = DurableDelta::diff(&Durable::pristine(config), durable) {
+            fresh.append_delta(&delta);
+        }
+        fresh.appended_total = self.appended_total + fresh.count;
+        *self = fresh;
+    }
+
+    /// Replays the journal, verifying framing and checksums (see the type
+    /// docs for the verdict semantics). Never panics, whatever the bytes.
+    pub fn replay_checked(&self, config: &ProtocolConfig) -> FramedReplay {
+        let mut durable = Durable::pristine(config);
+        let buf = &self.buf;
+        if buf.len() < JOURNAL_HEADER_LEN {
+            // Journal creation itself was torn; nothing was ever
+            // committed, so pristine boot is correct.
+            return FramedReplay {
+                durable,
+                records_applied: 0,
+                verdict: ReplayVerdict::TornTail {
+                    dropped_bytes: buf.len(),
+                },
+            };
+        }
+        if buf[..4] != JOURNAL_MAGIC {
+            return quarantined(durable, 0, QuarantineReason::BadMagic);
+        }
+        let count = match read_committed_count(buf) {
+            Some(c) => c,
+            None => return quarantined(durable, 0, QuarantineReason::HeaderCorrupt),
+        };
+        let mut pos = JOURNAL_HEADER_LEN;
+        for index in 0..count {
+            let Some(header) = buf.get(pos..pos + 8) else {
+                return quarantined(durable, index, QuarantineReason::RecordTruncated { index });
+            };
+            let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]) as usize;
+            let crc = u32::from_le_bytes([header[4], header[5], header[6], header[7]]);
+            let Some(payload) = buf.get(pos + 8..pos + 8 + len) else {
+                return quarantined(durable, index, QuarantineReason::RecordTruncated { index });
+            };
+            if super::codec::crc32(payload) != crc {
+                return quarantined(durable, index, QuarantineReason::ChecksumMismatch { index });
+            }
+            match super::codec::decode_delta(payload) {
+                Ok(delta) => delta.apply(&mut durable),
+                Err(e) => {
+                    return quarantined(
+                        durable,
+                        index,
+                        QuarantineReason::Undecodable {
+                            index,
+                            what: e.what,
+                        },
+                    );
+                }
+            }
+            pos += 8 + len;
+        }
+        let dropped = buf.len() - pos;
+        FramedReplay {
+            durable,
+            records_applied: count,
+            verdict: if dropped == 0 {
+                ReplayVerdict::Clean
+            } else {
+                ReplayVerdict::TornTail {
+                    dropped_bytes: dropped,
+                }
+            },
+        }
+    }
+
+    fn rewrite_header(&mut self) {
+        if self.buf.len() < JOURNAL_HEADER_LEN {
+            // Adopted bytes shorter than a header (torn creation): nothing
+            // to rewrite in place; replay treats this as an empty journal.
+            return;
+        }
+        let count_bytes = self.count.to_le_bytes();
+        let crc = super::codec::crc32(&count_bytes).to_le_bytes();
+        self.buf[4..12].copy_from_slice(&count_bytes);
+        self.buf[12..16].copy_from_slice(&crc);
+    }
+}
+
+/// Reads the committed count from a header, or `None` if the header is
+/// missing or fails its checksum.
+fn read_committed_count(buf: &[u8]) -> Option<u64> {
+    let header = buf.get(..JOURNAL_HEADER_LEN)?;
+    let mut count_bytes = [0u8; 8];
+    count_bytes.copy_from_slice(&header[4..12]);
+    let mut crc_bytes = [0u8; 4];
+    crc_bytes.copy_from_slice(&header[12..16]);
+    if super::codec::crc32(&count_bytes) != u32::from_le_bytes(crc_bytes) {
+        return None;
+    }
+    Some(u64::from_le_bytes(count_bytes))
+}
+
+fn quarantined(durable: Durable, records_applied: u64, reason: QuarantineReason) -> FramedReplay {
+    FramedReplay {
+        durable,
+        records_applied,
+        verdict: ReplayVerdict::Quarantined { reason },
+    }
+}
+
+impl StableStorage for FramedJournal {
+    fn append(&mut self, delta: &DurableDelta) {
+        self.append_delta(delta);
+    }
+
+    /// Unchecked-contract replay: returns the longest intact prefix. Hosts
+    /// that care about the verdict call
+    /// [`replay_checked`](FramedJournal::replay_checked) directly.
+    fn replay(&self, config: &ProtocolConfig) -> Durable {
+        self.replay_checked(config).durable
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -292,6 +661,7 @@ mod tests {
         );
         new.op_counter = 11;
         new.last_good = vec![NodeId(0)];
+        new.rejoin_pending = true;
 
         let delta = DurableDelta::diff(&old, &new).expect("changed");
         let mut rebuilt = old.clone();
@@ -330,6 +700,140 @@ mod tests {
             "compaction preserves replay"
         );
         assert_eq!(journal.appended_total(), 6);
+    }
+
+    /// A journal of `n` simple version-bump deltas plus the final state.
+    fn build_framed(config: &ProtocolConfig, n: u64) -> (FramedJournal, Durable) {
+        let mut state = Durable::pristine(config);
+        let mut journal = FramedJournal::new();
+        for v in 1..=n {
+            let mut next = state.clone();
+            next.version = v;
+            next.object
+                .apply(&PartialWrite::new([((v % 4) as PageId, b("pg"))]));
+            next.log.push(LogEntry {
+                version: v,
+                write: PartialWrite::new([((v % 4) as PageId, b("pg"))]),
+            });
+            let delta = DurableDelta::diff(&state, &next).expect("changed");
+            journal.append_delta(&delta);
+            state = next;
+        }
+        (journal, state)
+    }
+
+    #[test]
+    fn framed_clean_replay_reconstructs_state() {
+        let config = cfg();
+        let (journal, state) = build_framed(&config, 6);
+        let replay = journal.replay_checked(&config);
+        assert_eq!(replay.verdict, ReplayVerdict::Clean);
+        assert_eq!(replay.records_applied, 6);
+        assert_eq!(replay.durable, state);
+        assert_eq!(journal.committed_records(), 6);
+        // The StableStorage contract view agrees.
+        assert_eq!(journal.replay(&config), state);
+    }
+
+    #[test]
+    fn framed_torn_append_recovers_committed_prefix() {
+        let config = cfg();
+        let (mut journal, state) = build_framed(&config, 3);
+        let mut next = state.clone();
+        next.version = 9;
+        let delta = DurableDelta::diff(&state, &next).expect("changed");
+        journal.append_torn(&delta, 5);
+        let replay = journal.replay_checked(&config);
+        assert_eq!(replay.verdict, ReplayVerdict::TornTail { dropped_bytes: 5 });
+        assert_eq!(replay.durable, state, "torn record dropped, prefix kept");
+        assert!(replay.verdict.is_bootable());
+    }
+
+    #[test]
+    fn framed_torn_append_never_keeps_whole_record() {
+        let config = cfg();
+        let (mut journal, state) = build_framed(&config, 1);
+        let mut next = state.clone();
+        next.version = 2;
+        let delta = DurableDelta::diff(&state, &next).expect("changed");
+        journal.append_torn(&delta, usize::MAX);
+        let replay = journal.replay_checked(&config);
+        assert!(
+            matches!(replay.verdict, ReplayVerdict::TornTail { .. }),
+            "even keep=MAX drops at least one byte: {:?}",
+            replay.verdict
+        );
+        assert_eq!(replay.durable, state);
+    }
+
+    #[test]
+    fn framed_midstream_bit_flip_quarantines() {
+        let config = cfg();
+        let (journal, _) = build_framed(&config, 5);
+        // Flip one payload bit of the second record: offset just past the
+        // header and the first record's frame.
+        let mut corrupt = journal.clone();
+        assert!(corrupt.flip_bit(JOURNAL_HEADER_LEN + 8 + 2, 3));
+        let replay = corrupt.replay_checked(&config);
+        match replay.verdict {
+            ReplayVerdict::Quarantined { .. } => {}
+            other => panic!("expected quarantine, got {other:?}"),
+        }
+        assert!(!replay.verdict.is_bootable());
+    }
+
+    #[test]
+    fn framed_header_count_flip_quarantines_not_truncates() {
+        let config = cfg();
+        let (journal, _) = build_framed(&config, 5);
+        // Flip a count bit (header offset 4..12): without the header CRC
+        // this would masquerade as a torn tail and silently drop
+        // acknowledged records.
+        let mut corrupt = journal.clone();
+        assert!(corrupt.flip_bit(5, 0));
+        let replay = corrupt.replay_checked(&config);
+        assert_eq!(
+            replay.verdict,
+            ReplayVerdict::Quarantined {
+                reason: QuarantineReason::HeaderCorrupt
+            }
+        );
+    }
+
+    #[test]
+    fn framed_bad_magic_quarantines() {
+        let config = cfg();
+        let (journal, _) = build_framed(&config, 2);
+        let mut corrupt = journal.clone();
+        assert!(corrupt.flip_bit(0, 7));
+        assert_eq!(
+            corrupt.replay_checked(&config).verdict,
+            ReplayVerdict::Quarantined {
+                reason: QuarantineReason::BadMagic
+            }
+        );
+    }
+
+    #[test]
+    fn framed_torn_creation_boots_pristine() {
+        let config = cfg();
+        let journal = FramedJournal::from_bytes(vec![b'C', b'T']);
+        let replay = journal.replay_checked(&config);
+        assert_eq!(replay.verdict, ReplayVerdict::TornTail { dropped_bytes: 2 });
+        assert_eq!(replay.durable, Durable::pristine(&config));
+    }
+
+    #[test]
+    fn framed_reset_to_restarts_history() {
+        let config = cfg();
+        let (mut journal, state) = build_framed(&config, 4);
+        let total_before = journal.appended_total();
+        journal.reset_to(&state, &config);
+        let replay = journal.replay_checked(&config);
+        assert_eq!(replay.verdict, ReplayVerdict::Clean);
+        assert_eq!(replay.durable, state);
+        assert_eq!(journal.committed_records(), 1);
+        assert!(journal.appended_total() > total_before);
     }
 
     #[test]

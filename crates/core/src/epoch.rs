@@ -248,6 +248,9 @@ impl ReplicaNode {
                 Msg::Prepare {
                     op,
                     action: action.clone(),
+                    // Epoch polls are lock-free; participants take the
+                    // replica lock at prepare time.
+                    extra: true,
                 },
             );
         }

@@ -13,17 +13,20 @@
 //!   because the engine value survives them). `Persist` effects are
 //!   dropped: there is no storage to write to.
 //! * [`JournaledNode`] additionally appends every `Persist` delta to a
-//!   [`MemJournal`] and, on crash, **discards the engine's durable state
-//!   and reinstalls it from journal replay** — so a simulation run over
-//!   `JournaledNode`s proves the journal alone carries everything the
-//!   protocol needs across failures.
+//!   framed, checksummed [`FramedJournal`] and, on crash, **discards the
+//!   engine's durable state and reinstalls it from checked journal
+//!   replay** — so a simulation run over `JournaledNode`s proves the
+//!   journal alone carries everything the protocol needs across failures.
+//!   A quarantined replay (damage inside the committed prefix) makes the
+//!   next start a [`Input::BootQuarantined`], which enters the
+//!   stale-rejoin protocol instead of booting normally.
 
 use coterie_base::SimTime;
 use coterie_quorum::NodeId;
 use coterie_simnet::{Application, Ctx};
 
 use crate::engine::io::{Effect, Input};
-use crate::engine::storage::{MemJournal, StableStorage};
+use crate::engine::storage::FramedJournal;
 use crate::msg::{ClientRequest, Msg, ProtocolEvent};
 use crate::node::{ReplicaNode, Timer};
 
@@ -84,15 +87,18 @@ impl Application for ReplicaNode {
     }
 }
 
-/// A replica host that treats the [`MemJournal`] as its only stable
-/// storage: durable state is recovered from journal replay after every
-/// crash rather than trusted from memory.
+/// A replica host that treats the [`FramedJournal`] as its only stable
+/// storage: durable state is recovered from checked journal replay after
+/// every crash rather than trusted from memory.
 #[derive(Clone, Debug)]
 pub struct JournaledNode {
     /// The engine.
     pub node: ReplicaNode,
-    /// The journal of persisted deltas.
-    pub journal: MemJournal,
+    /// The framed journal of persisted deltas.
+    pub journal: FramedJournal,
+    /// Set when the last crash-replay quarantined the journal; the next
+    /// start boots via the stale-rejoin protocol.
+    quarantined: bool,
 }
 
 impl JournaledNode {
@@ -100,8 +106,14 @@ impl JournaledNode {
     pub fn new(me: NodeId, config: crate::config::ProtocolConfig) -> Self {
         JournaledNode {
             node: ReplicaNode::new(me, config),
-            journal: MemJournal::new(),
+            journal: FramedJournal::new(),
+            quarantined: false,
         }
+    }
+
+    /// True while a quarantined replay is waiting for its rejoin boot.
+    pub fn is_quarantined(&self) -> bool {
+        self.quarantined
     }
 
     fn run(&mut self, ctx: &mut Ctx<'_, Self>, input: Input) {
@@ -109,7 +121,7 @@ impl JournaledNode {
         // Write-ahead: journal the delta before any send/output it governs.
         for effect in &effects {
             if let Effect::Persist(delta) = effect {
-                self.journal.append(delta);
+                self.journal.append_delta(delta);
             }
         }
         replay_effects(ctx, &effects);
@@ -131,14 +143,27 @@ impl Application for JournaledNode {
     type Output = ProtocolEvent;
 
     fn on_start(&mut self, ctx: &mut Ctx<'_, Self>) {
-        self.run(ctx, Input::Boot);
+        if std::mem::take(&mut self.quarantined) {
+            self.run(ctx, Input::BootQuarantined);
+        } else {
+            self.run(ctx, Input::Boot);
+        }
     }
 
     fn on_crash(&mut self) {
         let _ = self.node.step(SimTime::ZERO, Input::Crash);
-        // Lose the in-memory durable state; come back from "disk".
-        let replayed = self.journal.replay(&self.node.config);
-        self.node.install_durable(replayed);
+        // Lose the in-memory durable state; come back from "disk" via a
+        // checked replay. A torn tail is truncated (it was never
+        // acknowledged); a quarantined journal is reset to the intact
+        // prefix and flagged so the next start takes the rejoin path.
+        let replay = self.journal.replay_checked(&self.node.config);
+        if replay.verdict.is_bootable() {
+            self.journal.truncate_tail();
+        } else {
+            self.journal.reset_to(&replay.durable, &self.node.config);
+            self.quarantined = true;
+        }
+        self.node.install_durable(replay.durable);
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_, Self>, from: NodeId, msg: Msg) {

@@ -66,6 +66,7 @@ pub mod msg;
 pub mod node;
 pub mod propagate;
 pub mod read;
+pub mod rejoin;
 mod router;
 pub mod server;
 pub mod store;
@@ -76,7 +77,9 @@ pub use config::{Mode, ProtocolConfig, WriteMode};
 pub use election::InitiatorPolicy;
 pub use engine::driver::{Envelope, PendingTimer};
 pub use engine::{
-    DriverEvent, DurableDelta, Effect, Input, MemJournal, NodeCtx, Rng64, StableStorage, StepDriver,
+    DriverEvent, DurableDelta, Effect, Failpoints, FaultKind, FiredFault, FramedJournal,
+    FramedReplay, Input, MemJournal, NodeCtx, QuarantineReason, ReplayVerdict, Rng64,
+    StableStorage, StepDriver,
 };
 #[cfg(feature = "simnet-host")]
 pub use host::JournaledNode;
@@ -86,4 +89,5 @@ pub use msg::{
     StateTuple,
 };
 pub use node::{Durable, NodeStats, ReplicaNode, Timer, Volatile};
+pub use rejoin::RejoinState;
 pub use store::{LogEntry, PageId, PagedObject, PartialWrite, WriteLog};

@@ -36,6 +36,19 @@ pub struct StateTuple {
     /// list of 'good' replicas is recorded in every node participating in
     /// a write operation").
     pub last_good: Vec<NodeId>,
+    /// True when the replica lock is held exclusively by some operation.
+    /// Stale-rejoin recovery reads this as a hazard signal: every required
+    /// participant of an in-flight write stays exclusively locked from the
+    /// permission grant until the 2PC outcome, so a quorum of lock-free,
+    /// unprepared responders proves no write the poller voted for before
+    /// losing its journal can still commit (see [`crate::rejoin`]).
+    pub wlocked: bool,
+    /// The version a durably prepared, still undecided 2PC action would
+    /// establish if committed (`new_version` for updates, the desired
+    /// version for stale-markings and epoch installs); `None` without a
+    /// prepared slot. Lets a rejoining replica bound the one possible
+    /// in-flight write exactly instead of over-approximating.
+    pub prepared_version: Option<u64>,
 }
 
 /// The payload of a two-phase-commit `Prepare`.
@@ -157,6 +170,15 @@ pub enum Msg {
         op: OpId,
         /// The action to prepare.
         action: Action,
+        /// True when the recipient was *not* locked during a permission
+        /// phase and may acquire the replica lock at prepare time: §4.1
+        /// safety-threshold extras ("no permission ... is needed") and
+        /// epoch installs (whose poll is lock-free). Required write
+        /// participants get `false`: their prepare must find the
+        /// permission-phase lock still held, so a lease expiry — or a
+        /// crash that forgot the grant — becomes a no-vote instead of
+        /// silently re-anchoring the write (see [`crate::rejoin`]).
+        extra: bool,
     },
     /// Two-phase commit: participant vote.
     Vote {
@@ -242,6 +264,20 @@ pub enum Msg {
     /// Bully election: the sender announces itself as the epoch-check
     /// coordinator.
     Coordinator,
+    /// A replica recovering from a quarantined journal polls its peers for
+    /// their state tuples to learn a safe desired version (see
+    /// [`crate::rejoin`]).
+    RejoinQuery {
+        /// The rejoin attempt.
+        op: OpId,
+    },
+    /// Reply to a `RejoinQuery`.
+    RejoinInfo {
+        /// The rejoin attempt being answered.
+        op: OpId,
+        /// The responder's state tuple.
+        state: StateTuple,
+    },
 }
 
 impl Msg {
@@ -265,7 +301,9 @@ impl Msg {
             Msg::EpochCheckReq { .. }
             | Msg::Election { .. }
             | Msg::ElectionAlive { .. }
-            | Msg::Coordinator => MsgClass::EpochCheck,
+            | Msg::Coordinator
+            | Msg::RejoinQuery { .. }
+            | Msg::RejoinInfo { .. } => MsgClass::EpochCheck,
         }
     }
 }
@@ -370,5 +408,14 @@ pub enum ProtocolEvent {
     SyncReconciliation {
         /// Nodes reconciled synchronously.
         targets: usize,
+    },
+    /// This node completed the stale-rejoin handshake after a quarantined
+    /// journal: a write quorum of peers answered, and the replica now
+    /// waits (stale, with a safe desired version) for propagation repair.
+    Rejoined {
+        /// The desired version adopted from the quorum's answers.
+        dversion: u64,
+        /// The epoch the replica rejoined into.
+        enumber: u64,
     },
 }

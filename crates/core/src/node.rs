@@ -69,6 +69,9 @@ pub enum Timer {
         /// The in-doubt operation.
         op: OpId,
     },
+    /// A quarantined replica re-polls peers that have not answered its
+    /// rejoin query (see [`crate::rejoin`]).
+    RejoinRetry,
     /// Bully election: answer/announcement window elapsed.
     ElectionTimeout {
         /// The challenge round.
@@ -106,6 +109,25 @@ pub struct Durable {
     /// Good list recorded by the most recent write this replica
     /// participated in (safety-threshold extension, §4.1).
     pub last_good: Vec<NodeId>,
+    /// Amnesia fence after a journal quarantine: 2PC decision records for
+    /// ops this node coordinated with `seq <= quarantine_fence` may have
+    /// been lost with the corrupt journal suffix, so decision queries for
+    /// such ops (absent from [`decisions`](Durable::decisions)) must stay
+    /// *silent* rather than presume abort — a lost commit record presumed
+    /// aborted would let a later read miss an acknowledged write. Zero
+    /// means the journal has never been quarantined.
+    pub quarantine_fence: u64,
+    /// True from a quarantined boot until the stale-rejoin handshake
+    /// completes. Durable because the handshake itself is not: a crash
+    /// during rejoin limbo can replay *clean* (the quarantined boot's own
+    /// delta healed the journal), and a normal boot would otherwise resume
+    /// as an ordinary stale node whose desired version never received the
+    /// rejoin safety bound — the one replica that knows about a lost write
+    /// would silently stop looking for it. While set, every boot re-enters
+    /// the rejoin poll, and the replica stays in limbo (refusing
+    /// permission requests, propagation offers, and 2PC prepares) until
+    /// [`finish_rejoin`](crate::rejoin) clears it.
+    pub rejoin_pending: bool,
 }
 
 impl Durable {
@@ -124,6 +146,8 @@ impl Durable {
             decisions: BTreeMap::new(),
             op_counter: 0,
             last_good: Vec::new(),
+            quarantine_fence: 0,
+            rejoin_pending: false,
         }
     }
 
@@ -172,6 +196,10 @@ pub struct Volatile {
     pub decision_retry_armed: BTreeSet<OpId>,
     /// Bully-election state (used when `initiator` is `Bully`).
     pub election: ElectionState,
+    /// In-progress stale-rejoin after a quarantined boot (see
+    /// [`crate::rejoin`]). While set, this replica refuses propagation
+    /// offers and 2PC prepares — its desired version is not yet known.
+    pub rejoin: Option<crate::rejoin::RejoinState>,
     /// Compiled quorum plans, keyed by epoch member set. Purely a cache:
     /// rebuilt on demand after a crash, and stale entries for dead epochs
     /// are harmless (they are simply never looked up again).
@@ -194,6 +222,7 @@ impl Clone for Volatile {
             epoch_retry_armed: self.epoch_retry_armed,
             decision_retry_armed: self.decision_retry_armed.clone(),
             election: self.election.clone(),
+            rejoin: self.rejoin.clone(),
             // A pure cache: cloning an empty one is always correct, and the
             // clone (driver forks in the interleaving explorer) rebuilds
             // plans on demand.

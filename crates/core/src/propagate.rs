@@ -59,8 +59,6 @@ pub struct IncomingProp {
     pub locked: bool,
 }
 
-const MAX_PROP_ATTEMPTS: u32 = 10;
-
 impl ReplicaNode {
     /// Adds targets to the propagation work list and schedules a kick.
     pub(crate) fn start_propagation(&mut self, ctx: &mut NodeCtx<'_>, targets: NodeSet) {
@@ -76,18 +74,28 @@ impl ReplicaNode {
     }
 
     /// Arms a kick timer if none is pending. `jittered` staggers competing
-    /// sources after a write; retries use the configured retry delay.
+    /// sources after a write; retries back off exponentially in the next
+    /// target's failed-attempt count (capped), plus jitter so competing
+    /// sources do not re-collide in lockstep.
     fn kick_propagation(&mut self, ctx: &mut NodeCtx<'_>, jittered: bool) {
         if self.vol.propagator.kick_armed || self.vol.propagator.in_flight.is_some() {
             return;
         }
-        if self.vol.propagator.remaining.is_empty() {
+        let Some(next) = self.vol.propagator.remaining.min() else {
             return;
-        }
+        };
         let delay = if jittered {
             self.jitter(ctx, self.config.propagation_jitter)
         } else {
-            self.config.propagation_retry
+            let attempts = self
+                .vol
+                .propagator
+                .attempts
+                .get(&next)
+                .copied()
+                .unwrap_or(0);
+            let base = self.config.propagation_retry * (1u64 << attempts.min(6));
+            base + self.jitter(ctx, self.config.propagation_jitter)
         };
         ctx.set_timer(delay, Timer::PropKick);
         self.vol.propagator.kick_armed = true;
@@ -129,8 +137,10 @@ impl ReplicaNode {
         prop: OpId,
         source_version: u64,
     ) {
+        // Rejoin limbo: the desired version is not known yet, so a safe
+        // source cannot be told from an obsolete one — defer the offer.
         // "if locked-for-propagation = 1 then reply already-recovering".
-        if self.vol.incoming_prop.is_some() {
+        if self.vol.incoming_prop.is_some() || self.in_rejoin_limbo() {
             ctx.send(
                 from,
                 Msg::PropResp {
@@ -452,7 +462,7 @@ impl ReplicaNode {
     fn bump_attempts(&mut self, target: NodeId) {
         let n = self.vol.propagator.attempts.entry(target).or_insert(0);
         *n += 1;
-        if *n >= MAX_PROP_ATTEMPTS {
+        if *n >= self.config.max_prop_attempts {
             // Give up: the epoch-checking protocol owns long-term repair.
             self.vol.propagator.remaining.remove(target);
             self.vol.propagator.attempts.remove(&target);

@@ -1,0 +1,266 @@
+//! Stale-rejoin recovery after a quarantined journal.
+//!
+//! When replay finds damage *inside* the acknowledged record prefix (a
+//! [`ReplayVerdict::Quarantined`](crate::engine::ReplayVerdict)), the
+//! replica's durable state has silently lost a suffix of acknowledged
+//! changes: 2PC votes it promised, decisions it recorded, writes it
+//! applied. Booting normally would violate the protocol's core assumption
+//! that durable state is never un-persisted. Instead of panicking — or
+//! worse, trusting the truncated state — the replica turns the damage into
+//! the one failure mode the paper already handles: **being stale**.
+//!
+//! On [`Input::BootQuarantined`](crate::engine::Input) the replica:
+//!
+//! 1. marks itself stale, drops any replayed prepared-transaction slot
+//!    (its vote may or may not have reached the coordinator; either way it
+//!    can no longer honor it), fences possibly-lost coordinator decisions
+//!    (see [`Durable::quarantine_fence`]), and skips its op counter far
+//!    past any id the lost suffix could have allocated;
+//! 2. polls all peers with [`Msg::RejoinQuery`] and collects
+//!    [`Msg::RejoinInfo`] state tuples until the responders include a
+//!    **write quorum** of the newest epoch seen — the same quorum test the
+//!    write protocol uses, so every committed write intersects the
+//!    responses;
+//! 3. adopts the newest epoch among the answers and a *desired version*
+//!    high enough that propagation can only repair it from a replica that
+//!    has seen every write the lost suffix might have acknowledged —
+//!    **including a 2PC prepare the suffix voted for that has not decided
+//!    yet**. The responders' lock and prepared-slot reports make one poll
+//!    sufficient: prepares go out only after the whole permission round is
+//!    granted, so every required participant of such a write has been
+//!    exclusively locked since before this replica crashed, and answers
+//!    the poll locked, prepared, or already showing the committed result
+//!    (required participants can never silently re-acquire an expired
+//!    lock at prepare time — see [`Msg::Prepare`]'s `extra` flag);
+//! 4. clears the rejoin limbo and lets the ordinary §4.2 propagation
+//!    machinery (kicked proactively by the current replicas that answered
+//!    the poll, and by the next epoch check) bring it back to current.
+//!
+//! While the handshake is in flight the replica is in *rejoin limbo*: it
+//! refuses propagation offers (its desired version is not yet known, so it
+//! cannot tell a safe source from an obsolete one), votes no on every
+//! 2PC prepare (its recovered state must not anchor new writes), refuses
+//! read and write permission requests, and leaves epoch checks and peer
+//! rejoin polls unanswered — its state tuple must not enter anyone's
+//! classification, because a quorum whose only intersection with a lost
+//! write's quorum is this amnesiac replica would commit duplicate versions
+//! or serve stale reads.
+//!
+//! The handshake itself must survive crashes: a crash during limbo can
+//! replay *clean* (the quarantined boot's own persisted delta healed the
+//! journal), and a normal boot knows nothing about the interrupted poll —
+//! the volatile [`RejoinState`] is gone. [`Durable::rejoin_pending`] closes
+//! that hole: set by the quarantined boot, cleared only when the handshake
+//! completes, and every boot that sees it re-enters the poll.
+
+use std::collections::BTreeMap;
+
+use coterie_quorum::{NodeId, QuorumKind};
+
+use crate::classify::Classified;
+use crate::config::Mode;
+use crate::msg::{Msg, OpId, ProtocolEvent, StateTuple};
+use crate::node::{NodeCtx, ReplicaNode, Timer};
+
+#[allow(unused_imports)] // doc links
+use crate::node::Durable;
+
+/// How far the op counter jumps over ids the lost journal suffix could
+/// have allocated. The suffix length is bounded by the journal's record
+/// count, which is far below this for any conceivable run.
+const OP_COUNTER_SKIP: u64 = 1_000_000;
+
+/// In-flight rejoin handshake state (volatile; restarting it after a
+/// crash is always safe).
+#[derive(Clone, Debug)]
+pub struct RejoinState {
+    /// Id of this rejoin attempt (poll responses are matched against it).
+    pub op: OpId,
+    /// State tuples collected so far, by responder.
+    pub responses: BTreeMap<NodeId, StateTuple>,
+}
+
+impl ReplicaNode {
+    /// Boot after the host quarantined the journal: enter stale-rejoin
+    /// (see the module docs for the full contract).
+    pub(crate) fn handle_boot_quarantined(&mut self, ctx: &mut NodeCtx<'_>) {
+        // The replayed prefix may hold a prepared slot whose vote is part
+        // of the lost suffix; we can no longer keep the promise either
+        // way. Dropping it is safe: if the coordinator committed, this
+        // replica is repaired by propagation like any stale replica.
+        self.durable.prepared = None;
+        self.durable.stale = true;
+        // Durable so that a crash during the handshake cannot orphan it:
+        // the quarantined boot's own delta may heal the journal, making the
+        // next replay *clean*, and a normal boot must still know the
+        // handshake never finished (see [`Durable::rejoin_pending`]).
+        self.durable.rejoin_pending = true;
+        // Fence decision queries for every op id the lost suffix could
+        // have coordinated, then move the counter past the fence so new
+        // ops are never confused with amnesiac ones.
+        self.durable.quarantine_fence = self.durable.op_counter + OP_COUNTER_SKIP;
+        self.durable.op_counter = self.durable.quarantine_fence;
+        if matches!(self.config.mode, Mode::Dynamic { .. }) {
+            self.arm_epoch_tick(ctx);
+        }
+        self.start_rejoin(ctx);
+    }
+
+    /// Starts (or restarts) the rejoin poll. Also called from a *clean*
+    /// boot when [`Durable::rejoin_pending`] shows an earlier handshake
+    /// was interrupted by a crash.
+    pub(crate) fn start_rejoin(&mut self, ctx: &mut NodeCtx<'_>) {
+        let op = self.next_op();
+        self.vol.rejoin = Some(RejoinState {
+            op,
+            responses: BTreeMap::new(),
+        });
+        let peers: Vec<NodeId> = self
+            .all_nodes()
+            .into_iter()
+            .filter(|&n| n != self.me)
+            .collect();
+        ctx.multicast(peers, Msg::RejoinQuery { op });
+        self.arm_rejoin_retry(ctx);
+    }
+
+    /// Serves a peer's rejoin poll: answer with our state tuple, and — if
+    /// we are current — proactively start propagating to the rejoiner
+    /// (it is stale by construction; waiting for the next epoch check
+    /// would leave it degraded for a full check period).
+    pub(crate) fn srv_rejoin_query(&mut self, ctx: &mut NodeCtx<'_>, from: NodeId, op: OpId) {
+        // A replica in rejoin limbo stays silent: its own tuple is still
+        // amnesiac, and counting it toward the asker's write quorum could
+        // finalize a rejoin without reaching any replica that knows the
+        // lost writes. The asker's retry timer re-polls us once we have
+        // finished our own handshake.
+        if self.in_rejoin_limbo() {
+            return;
+        }
+        let state = self.state_tuple();
+        ctx.send(from, Msg::RejoinInfo { op, state });
+        if !self.durable.stale {
+            self.start_propagation(ctx, coterie_quorum::NodeSet::singleton(from));
+        }
+    }
+
+    /// Collects a rejoin answer; finalizes once the responders include a
+    /// write quorum of the newest epoch seen.
+    pub(crate) fn on_rejoin_info(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        from: NodeId,
+        op: OpId,
+        state: StateTuple,
+    ) {
+        let responses = match &mut self.vol.rejoin {
+            Some(rejoin) if rejoin.op == op => {
+                rejoin.responses.insert(from, state);
+                rejoin.responses.clone()
+            }
+            _ => return,
+        };
+        let rule = self.config.rule.clone();
+        let Some(classified) = Classified::evaluate(
+            rule.as_ref(),
+            &mut self.vol.plans,
+            &responses,
+            QuorumKind::Write,
+        ) else {
+            return;
+        };
+        if !classified.has_quorum {
+            return;
+        }
+        self.finish_rejoin(ctx, &classified, &responses);
+    }
+
+    /// A write quorum answered: adopt the newest epoch, raise the desired
+    /// version to cover every write the responses prove or could still
+    /// commit, and leave limbo. From here the replica is an ordinary
+    /// stale node that §4.2 propagation repairs.
+    fn finish_rejoin(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        classified: &Classified,
+        responses: &BTreeMap<NodeId, StateTuple>,
+    ) {
+        self.vol.rejoin = None;
+        self.durable.rejoin_pending = false;
+        // Adopt the maximum-epoch (enumber, elist) pair verbatim from a
+        // responder: copying an existing pair preserves the epoch-safety
+        // invariant (equal numbers ⇒ equal lists).
+        if classified.enumber > self.durable.enumber {
+            self.durable.enumber = classified.enumber;
+            self.durable.elist = classified.view.members().to_vec();
+        }
+        // Safe desired version, in two parts.
+        //
+        // (a) Committed writes: every committed write's quorum intersects
+        // the responding write quorum, so some responder holds its version
+        // (non-stale), was marked stale with at least it as dversion, or
+        // still carries it in an undecided prepared slot.
+        //
+        // (b) A write this replica's lost suffix *voted for* but whose
+        // decision is still pending: prepares go out only after the whole
+        // permission round is granted, so every required participant of
+        // such a write has been exclusively locked since before this
+        // replica crashed, and answers the poll locked, prepared, or
+        // already showing the committed result. A lock with no prepared
+        // slot hides the version, but at most one write can hold a full
+        // quorum of locks at a time and it commits at exactly one past
+        // the committed maximum, so adding one covers it. Committed
+        // versions are gap-free, so an over-approximated dversion is
+        // healed by the next committed write's propagation.
+        let committed = classified
+            .max_version
+            .unwrap_or(0)
+            .max(classified.max_dversion);
+        let prepared = responses
+            .values()
+            .filter_map(|s| s.prepared_version)
+            .max()
+            .unwrap_or(0);
+        let lock_hazard = responses
+            .values()
+            .any(|s| s.wlocked && s.prepared_version.is_none());
+        let target = committed.max(prepared) + u64::from(lock_hazard);
+        self.durable.dversion = self.durable.dversion.max(target);
+        ctx.output(ProtocolEvent::Rejoined {
+            dversion: self.durable.dversion,
+            enumber: self.durable.enumber,
+        });
+    }
+
+    /// Retry timer: re-poll the peers that have not answered yet.
+    pub(crate) fn on_rejoin_retry(&mut self, ctx: &mut NodeCtx<'_>) {
+        let (op, answered) = match &self.vol.rejoin {
+            Some(rejoin) => (rejoin.op, rejoin.responses.clone()),
+            None => return,
+        };
+        let silent: Vec<NodeId> = self
+            .all_nodes()
+            .into_iter()
+            .filter(|&n| n != self.me && !answered.contains_key(&n))
+            .collect();
+        ctx.multicast(silent, Msg::RejoinQuery { op });
+        self.arm_rejoin_retry(ctx);
+    }
+
+    fn arm_rejoin_retry(&mut self, ctx: &mut NodeCtx<'_>) {
+        let base = self.config.collect_timeout * 4;
+        let delay = base + self.jitter(ctx, base);
+        ctx.set_timer(delay, Timer::RejoinRetry);
+    }
+
+    /// True while the rejoin handshake is in flight (limbo): permission
+    /// requests, propagation offers, and 2PC prepares must be refused, and
+    /// epoch checks and peer rejoin polls go unanswered — the replica's
+    /// tuple must not enter anyone's classification until its desired
+    /// version carries the rejoin bound. The durable flag is checked too
+    /// so no window exists between replay and the boot step re-arming the
+    /// volatile handshake state.
+    pub(crate) fn in_rejoin_limbo(&self) -> bool {
+        self.vol.rejoin.is_some() || self.durable.rejoin_pending
+    }
+}

@@ -19,6 +19,14 @@ impl ReplicaNode {
             elist: self.durable.elist.clone(),
             enumber: self.durable.enumber,
             last_good: self.durable.last_good.clone(),
+            wlocked: self.vol.lock.exclusive_holder().is_some(),
+            prepared_version: self.durable.prepared.as_ref().map(|(_, a)| match a {
+                Action::DoUpdate { new_version, .. } => *new_version,
+                Action::MarkStale { desired_version }
+                | Action::NewEpoch {
+                    desired_version, ..
+                } => *desired_version,
+            }),
         }
     }
 
@@ -26,10 +34,17 @@ impl ReplicaNode {
     /// the lock for its replica and responds with its state". No-wait: a
     /// busy replica answers `granted: false` instead of queueing.
     pub(crate) fn srv_write_req(&mut self, ctx: &mut NodeCtx<'_>, from: NodeId, op: OpId) {
-        let granted = matches!(
-            self.vol.lock.try_exclusive(op),
-            crate::locks::LockGrant::Granted
-        );
+        // Rejoin limbo: refuse so our amnesiac tuple never enters the
+        // coordinator's classification (refused responders are excluded) —
+        // a quorum whose only intersection with a lost write's quorum is
+        // this replica would otherwise commit a duplicate version or serve
+        // a stale read. The coordinator retries around us like any busy
+        // replica.
+        let granted = !self.in_rejoin_limbo()
+            && matches!(
+                self.vol.lock.try_exclusive(op),
+                crate::locks::LockGrant::Granted
+            );
         if granted {
             self.arm_lock_lease(ctx, op);
         }
@@ -39,10 +54,15 @@ impl ReplicaNode {
 
     /// Read permission: shared lock.
     pub(crate) fn srv_read_req(&mut self, ctx: &mut NodeCtx<'_>, from: NodeId, op: OpId) {
-        let granted = matches!(
-            self.vol.lock.try_shared(op),
-            crate::locks::LockGrant::Granted
-        );
+        // Same limbo refusal as writes — reads are the sharper hazard:
+        // they have no 2PC vote, so the vote-no fence never engages and a
+        // granted amnesiac tuple would flow straight into the freshness
+        // test.
+        let granted = !self.in_rejoin_limbo()
+            && matches!(
+                self.vol.lock.try_shared(op),
+                crate::locks::LockGrant::Granted
+            );
         if granted {
             self.arm_lock_lease(ctx, op);
         }
@@ -55,6 +75,14 @@ impl ReplicaNode {
     /// absence of failures").
     pub(crate) fn srv_epoch_check_req(&mut self, ctx: &mut NodeCtx<'_>, from: NodeId, op: OpId) {
         self.vol.last_epoch_check_seen = Some(ctx.now());
+        // Rejoin limbo: stay silent, like a down node. Answering would
+        // either poison the epoch install with an amnesiac tuple or (since
+        // limbo votes no on every prepare) abort the epoch change
+        // outright; silence lets the coordinator shrink the epoch around
+        // us until the handshake completes.
+        if self.in_rejoin_limbo() {
+            return;
+        }
         let state = self.state_tuple();
         ctx.send(
             from,
@@ -75,11 +103,20 @@ impl ReplicaNode {
         from: NodeId,
         op: OpId,
         action: Action,
+        extra: bool,
     ) {
         // Duplicate Prepare for an already-prepared op: re-vote yes.
         if let Some((prep_op, _)) = &self.durable.prepared {
             let yes = *prep_op == op;
             ctx.send(from, Msg::Vote { op, yes });
+            return;
+        }
+        // Rejoin limbo after a quarantined journal: this replica's state
+        // must not anchor new transactions until its desired version is
+        // known (in particular, a write-all-current base shipment would
+        // clear the stale flag and skip the rejoin safety net).
+        if self.in_rejoin_limbo() {
+            ctx.send(from, Msg::Vote { op, yes: false });
             return;
         }
         let yes = match &action {
@@ -97,16 +134,23 @@ impl ReplicaNode {
                             && *base_version >= self.durable.dversion
                     }
                 };
-                // Normally the exclusive lock was granted in the permission
-                // phase. A safety-threshold *extra* replica was never
-                // polled ("no permission ... is needed"): it may acquire
-                // the lock here, voting no if busy.
+                // A required participant must still hold the lock it was
+                // granted in the permission phase: if the lease expired
+                // (or a crash forgot the grant), re-acquiring here would
+                // let the write commit past a rejoin poll that saw this
+                // replica unlocked — vote no instead and let the
+                // coordinator retry. Only a safety-threshold *extra*
+                // replica, which was never polled ("no permission ... is
+                // needed"), may acquire the lock at prepare time, voting
+                // no if busy.
                 let locked = if self.vol.lock.held_exclusively_by(op) {
                     true
-                } else if matches!(
-                    self.vol.lock.try_exclusive(op),
-                    crate::locks::LockGrant::Granted
-                ) {
+                } else if extra
+                    && matches!(
+                        self.vol.lock.try_exclusive(op),
+                        crate::locks::LockGrant::Granted
+                    )
+                {
                     self.arm_lock_lease(ctx, op);
                     true
                 } else {
@@ -215,6 +259,15 @@ impl ReplicaNode {
     pub(crate) fn srv_decision_query(&mut self, ctx: &mut NodeCtx<'_>, from: NodeId, op: OpId) {
         if self.vol.writes.contains_key(&op) || self.vol.epochs.contains_key(&op) {
             return; // still deciding; the participant will re-query
+        }
+        // Quarantine amnesia fence: a decision record for an op behind the
+        // fence may have been lost with the corrupt journal suffix, so
+        // "not on disk" does not mean "aborted". Presuming abort here
+        // could contradict a commit another participant already applied —
+        // stay silent and leave the participant blocked (textbook 2PC
+        // blocking; the cost of losing the coordinator's log).
+        if op.seq <= self.durable.quarantine_fence && !self.durable.decisions.contains_key(&op) {
+            return;
         }
         let commit = self.durable.decisions.get(&op).copied().unwrap_or(false);
         ctx.send(from, Msg::Decision { op, commit });
@@ -331,7 +384,9 @@ impl ReplicaNode {
             return;
         }
         if let Some((op, from, action)) = self.vol.pending_epoch_prepare.take() {
-            self.srv_prepare(ctx, from, op, action);
+            // Only epoch prepares queue, and those always lock at prepare
+            // time (their poll is lock-free), hence `extra: true`.
+            self.srv_prepare(ctx, from, op, action, true);
         }
     }
 

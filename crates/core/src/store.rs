@@ -184,6 +184,16 @@ impl WriteLog {
         self.entries.is_empty()
     }
 
+    /// The retention bound this log was created with.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// The retained entries in version order (journal codec and tests).
+    pub fn iter(&self) -> impl Iterator<Item = &LogEntry> {
+        self.entries.iter()
+    }
+
     /// The writes needed to carry a replica from `from_version` up to the
     /// newest logged version, i.e. all entries with `version > from_version`
     /// — or `None` if the log has been trimmed past `from_version + 1`

@@ -272,6 +272,8 @@ impl ReplicaNode {
                 elist: self.durable.elist.clone(),
                 enumber: self.durable.enumber,
                 last_good: Vec::new(),
+                wlocked: false,
+                prepared_version: None,
             }))
             .map(|s| (s.node, s))
             .collect();
@@ -350,6 +352,10 @@ impl ReplicaNode {
                         good: good_list.clone(),
                         base: None,
                     },
+                    // Extras were never polled and lock at prepare time;
+                    // required participants must still hold the
+                    // permission-phase lock.
+                    extra: optional.contains(&node),
                 },
             );
         }
@@ -364,6 +370,7 @@ impl ReplicaNode {
                         // performing the current write".
                         desired_version: new_version,
                     },
+                    extra: false,
                 },
             );
         }
@@ -421,6 +428,7 @@ impl ReplicaNode {
                             good: c.good.clone(),
                             base: None,
                         },
+                        extra: false,
                     },
                 );
             }
@@ -544,6 +552,7 @@ impl ReplicaNode {
                         good: good_list.clone(),
                         base: None,
                     },
+                    extra: false,
                 },
             );
         }
@@ -559,6 +568,7 @@ impl ReplicaNode {
                         good: good_list.clone(),
                         base: Some((pages.clone(), base_version)),
                     },
+                    extra: false,
                 },
             );
         }

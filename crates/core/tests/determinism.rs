@@ -77,16 +77,20 @@ fn run_and_serialize() -> String {
     }
     driver.run_for(SimDuration::from_secs(30));
 
-    // Canonical rendering: per-node journal deltas in append order, the
-    // replayed durable state, the cluster digest, and every output event.
+    // Canonical rendering: per-node journal *bytes* (the framed v2 format,
+    // hex-encoded, so framing and checksums are part of the contract), the
+    // checked-replay verdict, the replayed durable state, the cluster
+    // digest, and every output event.
     let mut out = String::new();
     for id in 0..N as u32 {
         let node = NodeId(id);
         let journal = driver.journal(node);
+        let replay = driver.replay_checked(node);
         out.push_str(&format!(
-            "node={id};appended={};deltas={:?};replayed={:?};\n",
+            "node={id};appended={};bytes={};verdict={:?};replayed={:?};\n",
             journal.appended_total(),
-            journal.deltas(),
+            hex(journal.bytes()),
+            replay.verdict,
             driver.replay_journal(node),
         ));
     }
@@ -96,6 +100,10 @@ fn run_and_serialize() -> String {
         driver.outputs(),
     ));
     out
+}
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
 }
 
 fn fnv1a(bytes: &[u8]) -> u64 {

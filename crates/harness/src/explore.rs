@@ -213,7 +213,12 @@ fn finish_schedule(
 ///    epoch lists — the atomic-epoch-installation guarantee of §4.3.
 /// 2. *Current-replica coherence*: two non-stale replicas at the same
 ///    version hold byte-identical objects — versions name object states.
-fn check_invariants(driver: &StepDriver, report: &mut ExploreReport) {
+///
+/// Returns a description of every violated pair. Shared by the explorer
+/// (checked at every distinct state) and the nemesis soak harness
+/// (checked after every recovery and at the end of every schedule).
+pub fn cluster_invariant_violations(driver: &StepDriver) -> Vec<String> {
+    let mut violations = Vec::new();
     let n = driver.cluster_size();
     for a in 0..n {
         for b in (a + 1)..n {
@@ -222,29 +227,30 @@ fn check_invariants(driver: &StepDriver, report: &mut ExploreReport) {
                 &driver.node(NodeId(b as u32)).durable,
             );
             if da.enumber == db.enumber && da.elist != db.elist {
-                push_violation(
-                    report,
-                    format!(
-                        "epoch safety: nodes {a} and {b} both in epoch {} but lists {:?} vs {:?}",
-                        da.enumber, da.elist, db.elist
-                    ),
-                );
+                violations.push(format!(
+                    "epoch safety: nodes {a} and {b} both in epoch {} but lists {:?} vs {:?}",
+                    da.enumber, da.elist, db.elist
+                ));
             }
             if da.version == db.version
                 && !da.stale
                 && !db.stale
                 && da.object.digest() != db.object.digest()
             {
-                push_violation(
-                    report,
-                    format!(
-                        "coherence: nodes {a} and {b} both current at version {} with \
-                         different contents",
-                        da.version
-                    ),
-                );
+                violations.push(format!(
+                    "coherence: nodes {a} and {b} both current at version {} with \
+                     different contents",
+                    da.version
+                ));
             }
         }
+    }
+    violations
+}
+
+fn check_invariants(driver: &StepDriver, report: &mut ExploreReport) {
+    for v in cluster_invariant_violations(driver) {
+        push_violation(report, v);
     }
 }
 

@@ -1,6 +1,7 @@
 //! Fault-injection schedules: per-node Poisson crash/repair processes and
 //! scripted partition timelines, pre-generated so runs stay reproducible.
 
+use coterie_core::FaultKind;
 use coterie_quorum::NodeId;
 use coterie_simnet::{Partition, SimDuration, SimTime};
 use rand::rngs::StdRng;
@@ -9,9 +10,12 @@ use rand::{Rng, SeedableRng};
 /// Fault-injection parameters.
 #[derive(Clone, Debug)]
 pub struct FaultConfig {
-    /// Per-node crash rate (per simulated second). Zero disables crashes.
+    /// Per-node crash rate (per simulated second). Zero (or any
+    /// non-finite or negative value) disables crashes.
     pub lambda_per_sec: f64,
-    /// Per-node repair rate (per simulated second).
+    /// Per-node repair rate (per simulated second). Zero (or any
+    /// non-finite or negative value) makes the first crash of each node
+    /// final: it goes down and never recovers within the plan.
     pub mu_per_sec: f64,
     /// Horizon to pre-generate.
     pub duration: SimDuration,
@@ -42,6 +46,15 @@ pub enum FaultEvent {
     Recover(NodeId),
     /// Replace the partition.
     Partition(Partition),
+    /// Arm a one-shot storage fault at `node`'s next journal append
+    /// (consumed by [`StepDriver`](coterie_core::StepDriver)-based
+    /// harnesses such as the nemesis soak; simnet scenarios ignore it).
+    StorageFault {
+        /// The node whose journal misbehaves.
+        node: NodeId,
+        /// What the append does instead of succeeding.
+        kind: FaultKind,
+    },
 }
 
 /// A pre-generated, time-ordered fault schedule.
@@ -56,7 +69,7 @@ impl FaultPlan {
     /// (non-immune) node.
     pub fn generate(config: &FaultConfig, n_nodes: usize) -> FaultPlan {
         let mut plan = FaultPlan::default();
-        if config.lambda_per_sec <= 0.0 {
+        if !config.lambda_per_sec.is_finite() || config.lambda_per_sec <= 0.0 {
             return plan;
         }
         let mut rng = StdRng::seed_from_u64(config.seed);
@@ -73,6 +86,13 @@ impl FaultPlan {
                 } else {
                     config.mu_per_sec
                 };
+                // A non-positive (or NaN/infinite) rate means this state
+                // is absorbing — the exponential inter-arrival time would
+                // be infinite (or nonsense), so the process stops here
+                // rather than emitting events at garbage timestamps.
+                if !rate.is_finite() || rate <= 0.0 {
+                    break;
+                }
                 t += -rng.gen::<f64>().max(f64::MIN_POSITIVE).ln() / rate;
                 if t >= horizon {
                     break;
@@ -114,6 +134,15 @@ impl FaultPlan {
         ));
         self.events
             .push((until, FaultEvent::Partition(Partition::connected(n_nodes))));
+        self.events.sort_by_key(|(t, _)| *t);
+        self
+    }
+
+    /// Adds a one-shot storage fault at `node`'s next journal append
+    /// after `at`.
+    pub fn with_storage_fault(mut self, node: NodeId, at: SimTime, kind: FaultKind) -> FaultPlan {
+        self.events
+            .push((at, FaultEvent::StorageFault { node, kind }));
         self.events.sort_by_key(|(t, _)| *t);
         self
     }
@@ -166,7 +195,7 @@ mod tests {
                         assert!(!expect_crash);
                         expect_crash = true;
                     }
-                    FaultEvent::Partition(_) => unreachable!(),
+                    FaultEvent::Partition(_) | FaultEvent::StorageFault { .. } => unreachable!(),
                 }
             }
         }
@@ -190,6 +219,77 @@ mod tests {
             e,
             FaultEvent::Crash(n) if *n == NodeId(0)
         )));
+    }
+
+    #[test]
+    fn degenerate_rates_produce_no_garbage_events() {
+        for lambda in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let cfg = FaultConfig {
+                lambda_per_sec: lambda,
+                ..Default::default()
+            };
+            assert!(
+                FaultPlan::generate(&cfg, 4).is_empty(),
+                "lambda={lambda} should disable crashes"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_mu_means_first_crash_is_final() {
+        for mu in [0.0, -3.0, f64::NAN] {
+            let cfg = FaultConfig {
+                lambda_per_sec: 5.0,
+                mu_per_sec: mu,
+                duration: SimDuration::from_secs(200),
+                ..Default::default()
+            };
+            let plan = FaultPlan::generate(&cfg, 3);
+            for node in (0..3).map(NodeId) {
+                let mine: Vec<_> = plan
+                    .events
+                    .iter()
+                    .filter(|(_, e)| {
+                        matches!(e, FaultEvent::Crash(n) | FaultEvent::Recover(n) if *n == node)
+                    })
+                    .collect();
+                assert!(
+                    mine.len() <= 1,
+                    "mu={mu}: {node:?} has {} events",
+                    mine.len()
+                );
+                if let Some((t, e)) = mine.first() {
+                    assert!(matches!(e, FaultEvent::Crash(_)));
+                    assert!(t.0 < 200_000_000, "event past the horizon");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn storage_fault_builder_inserts_in_time_order() {
+        let plan = FaultPlan::scripted(vec![(SimTime(8), FaultEvent::Crash(NodeId(1)))])
+            .with_storage_fault(NodeId(2), SimTime(3), FaultKind::TornWrite)
+            .with_storage_fault(NodeId(0), SimTime(12), FaultKind::BitFlip);
+        assert_eq!(plan.len(), 3);
+        assert_eq!(
+            plan.events[0].1,
+            FaultEvent::StorageFault {
+                node: NodeId(2),
+                kind: FaultKind::TornWrite
+            }
+        );
+        assert!(matches!(plan.events[1].1, FaultEvent::Crash(_)));
+        assert_eq!(
+            plan.events[2].1,
+            FaultEvent::StorageFault {
+                node: NodeId(0),
+                kind: FaultKind::BitFlip
+            }
+        );
+        for pair in plan.events.windows(2) {
+            assert!(pair[0].0 <= pair[1].0);
+        }
     }
 
     #[test]

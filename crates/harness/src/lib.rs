@@ -5,15 +5,17 @@
 //! full-protocol scenario runner over the discrete-event simulator
 //! ([`scenario`]), Poisson workload and fault generators ([`workload`],
 //! [`faults`]), a one-copy-serializability checker ([`checker`]), metrics
-//! ([`metrics`]), report rendering ([`report`]), and the per-experiment
-//! drivers ([`experiments`]) that regenerate every table and figure of the
-//! paper (see EXPERIMENTS.md at the repository root).
+//! ([`metrics`]), report rendering ([`report`]), the nemesis storage-fault
+//! soak ([`nemesis`]), and the per-experiment drivers ([`experiments`])
+//! that regenerate every table and figure of the paper (see EXPERIMENTS.md
+//! at the repository root).
 
 pub mod checker;
 pub mod experiments;
 pub mod explore;
 pub mod faults;
 pub mod metrics;
+pub mod nemesis;
 pub mod report;
 pub mod scenario;
 pub mod sitemodel;
@@ -23,6 +25,7 @@ pub use checker::{check_run, CheckReport, Violation};
 pub use explore::{explore, ExploreReport, ExplorerConfig};
 pub use faults::{FaultConfig, FaultEvent, FaultPlan};
 pub use metrics::{LatencyStats, LoadStats};
+pub use nemesis::{run_nemesis, soak, NemesisConfig, NemesisReport, NemesisRun};
 pub use report::{sci, to_json, Table};
 pub use scenario::{run_scenario, Scenario, ScenarioResult};
 pub use sitemodel::{

@@ -119,6 +119,10 @@ pub fn run_scenario(scenario: &Scenario) -> ScenarioResult {
             FaultEvent::Crash(node) => sim.schedule_crash(*at, *node),
             FaultEvent::Recover(node) => sim.schedule_recover(*at, *node),
             FaultEvent::Partition(p) => sim.schedule_partition(*at, p.clone()),
+            // Storage faults need a journaling host; the simnet scenario
+            // runs bare engines, so only the StepDriver-based nemesis
+            // harness honors these events.
+            FaultEvent::StorageFault { .. } => {}
         }
         last_event = last_event.max(*at);
     }

@@ -159,5 +159,8 @@ fn report(node: NodeId, ev: &ProtocolEvent) {
         ProtocolEvent::SyncReconciliation { targets } => {
             println!("  [reconciliation] {targets} targets (write-all-current mode)")
         }
+        ProtocolEvent::Rejoined { dversion, enumber } => println!(
+            "  [rejoin] {node:?} rejoined epoch #{enumber} stale, awaiting repair to v{dversion}"
+        ),
     }
 }

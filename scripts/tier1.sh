@@ -36,4 +36,10 @@ echo "==> example smoke runs"
 cargo run --release --example quickstart
 cargo run --release --example failover
 
+echo "==> nemesis smoke (bounded storage-fault soak)"
+# Fixed seeds, short schedules: 6 grid + 6 majority runs of crashes,
+# partitions, torn writes, and journal corruption; exits non-zero on any
+# epoch-safety, coherence, or 1SR violation.
+cargo run --release -p coterie-harness --bin nemesis -- 6 42 1500
+
 echo "tier-1: all green"

@@ -146,6 +146,9 @@ fn epoch_safety_holds_under_churn() {
             dyncoterie::harness::FaultEvent::Crash(node) => sim.schedule_crash(*at, *node),
             dyncoterie::harness::FaultEvent::Recover(node) => sim.schedule_recover(*at, *node),
             dyncoterie::harness::FaultEvent::Partition(p) => sim.schedule_partition(*at, p.clone()),
+            // Storage faults target journaling hosts; this simnet test
+            // runs bare engines (mirrors scenario.rs).
+            dyncoterie::harness::FaultEvent::StorageFault { .. } => {}
         }
     }
     for i in 0..80u64 {

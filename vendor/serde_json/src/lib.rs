@@ -46,16 +46,22 @@ fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize)
         Value::Array(items) => write_seq(out, items.iter(), indent, depth, '[', ']', |o, it, d| {
             write_value(o, it, indent, d)
         }),
-        Value::Object(entries) => {
-            write_seq(out, entries.iter(), indent, depth, '{', '}', |o, (k, it), d| {
+        Value::Object(entries) => write_seq(
+            out,
+            entries.iter(),
+            indent,
+            depth,
+            '{',
+            '}',
+            |o, (k, it), d| {
                 write_string(o, k);
                 o.push(':');
                 if indent.is_some() {
                     o.push(' ');
                 }
                 write_value(o, it, indent, d);
-            })
-        }
+            },
+        ),
     }
 }
 
