@@ -1,0 +1,522 @@
+//! Closed-loop throughput load driver (DESIGN.md §10).
+//!
+//! `clients` workers each keep exactly one operation outstanding: as soon
+//! as a worker's operation completes (or the protocol gives up on it), the
+//! worker issues the next one. Writes all target node 0 — the write-leader
+//! topology that makes coordinator-side batching and pipelining visible —
+//! while reads round-robin across the cluster. Runs are fixed-duration;
+//! the report carries ops/sec, p50/p99 latency, and the journal-flush
+//! count (the fsync bill group commit amortizes).
+//!
+//! Two execution modes share the workload logic:
+//!
+//! * [`run_sim`] drives a [`StepDriver`] cluster under the deterministic
+//!   zero-latency schedule — simulated time, reproducible, and checked:
+//!   the run ends with the harness's 1SR checker and the cluster
+//!   invariants (epoch safety, coherence) over every replica.
+//! * [`run_threaded`] hosts [`JournaledNode`]s on OS threads via
+//!   [`ThreadedRuntime`] — wall-clock time, real inter-thread latencies,
+//!   and (optionally) a real journal file per node with one `fdatasync`
+//!   per flush, so the group-commit win is measured against actual
+//!   stable-storage costs.
+
+// Tool-side bookkeeping: keyed lookups never feed engine effects.
+#![allow(clippy::disallowed_types)]
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use coterie_core::{
+    ClientRequest, JournaledNode, PartialWrite, ProtocolConfig, ProtocolEvent, StepDriver,
+};
+use coterie_harness::checker::check_run;
+use coterie_harness::explore::cluster_invariant_violations;
+use coterie_harness::workload::IssuedOp;
+use coterie_quorum::NodeId;
+use coterie_simnet::{SimDuration, SimTime, ThreadedRuntime};
+
+/// Workload shape for one load run.
+#[derive(Clone, Debug)]
+pub struct LoadSpec {
+    /// Concurrent closed-loop client workers.
+    pub clients: usize,
+    /// Reads per mille (900 = the 90/10 read-heavy mix, 500 = 50/50).
+    pub read_permille: u64,
+    /// Run length: simulated ms for [`run_sim`], wall ms for
+    /// [`run_threaded`].
+    pub duration_ms: u64,
+    /// Workload RNG seed.
+    pub seed: u64,
+}
+
+impl Default for LoadSpec {
+    fn default() -> Self {
+        LoadSpec {
+            clients: 16,
+            read_permille: 500,
+            duration_ms: 2_000,
+            seed: 0xBEEF,
+        }
+    }
+}
+
+/// What one load run measured.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct LoadReport {
+    /// Operations completed inside the measurement window.
+    pub committed: u64,
+    /// Reads among them.
+    pub reads: u64,
+    /// Writes among them.
+    pub writes: u64,
+    /// Operations the protocol gave up on (client reissued).
+    pub gave_up: u64,
+    /// Window length in seconds (simulated or wall).
+    pub elapsed_secs: f64,
+    /// `committed / elapsed_secs`.
+    pub ops_per_sec: f64,
+    /// Median completion latency, microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile completion latency, microseconds.
+    pub p99_us: u64,
+    /// Median write latency, microseconds.
+    pub write_p50_us: u64,
+    /// 99th-percentile write latency, microseconds.
+    pub write_p99_us: u64,
+    /// Journal flushes across the cluster (header commits; with a sync
+    /// file attached, real fsyncs).
+    pub flushes: u64,
+    /// Consistency violations found after the run (must be empty).
+    pub violations: Vec<String>,
+}
+
+/// Minimal deterministic stream for workload choices (read-vs-write, page
+/// picks); independent of the engines' own RNGs.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+/// One in-flight client operation.
+struct Outstanding {
+    client: usize,
+    issued_us: u64,
+    is_write: bool,
+}
+
+/// Accumulates completions and turns them into the report percentiles.
+#[derive(Default)]
+struct Metrics {
+    committed: u64,
+    reads: u64,
+    writes: u64,
+    gave_up: u64,
+    lat_us: Vec<u64>,
+    write_lat_us: Vec<u64>,
+}
+
+impl Metrics {
+    fn complete(&mut self, op: &Outstanding, done_us: u64) {
+        let lat = done_us.saturating_sub(op.issued_us);
+        self.committed += 1;
+        self.lat_us.push(lat);
+        if op.is_write {
+            self.writes += 1;
+            self.write_lat_us.push(lat);
+        } else {
+            self.reads += 1;
+        }
+    }
+
+    fn into_report(
+        mut self,
+        elapsed_secs: f64,
+        flushes: u64,
+        violations: Vec<String>,
+    ) -> LoadReport {
+        self.lat_us.sort_unstable();
+        self.write_lat_us.sort_unstable();
+        LoadReport {
+            committed: self.committed,
+            reads: self.reads,
+            writes: self.writes,
+            gave_up: self.gave_up,
+            elapsed_secs,
+            ops_per_sec: self.committed as f64 / elapsed_secs.max(1e-9),
+            p50_us: percentile(&self.lat_us, 50),
+            p99_us: percentile(&self.lat_us, 99),
+            write_p50_us: percentile(&self.write_lat_us, 50),
+            write_p99_us: percentile(&self.write_lat_us, 99),
+            flushes,
+            violations,
+        }
+    }
+}
+
+fn percentile(sorted: &[u64], p: usize) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = (sorted.len() * p).div_ceil(100).saturating_sub(1);
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Builds the next request for `client`: a write (to node 0) or a read
+/// (round-robin by request id), per the spec's mix.
+fn next_request(
+    spec: &LoadSpec,
+    config: &ProtocolConfig,
+    n: usize,
+    rng: &mut XorShift,
+    id: u64,
+) -> (NodeId, ClientRequest, Option<PartialWrite>) {
+    if rng.next() % 1000 < spec.read_permille {
+        (
+            NodeId((id % n as u64) as u32),
+            ClientRequest::Read { id },
+            None,
+        )
+    } else {
+        let page = (rng.next() % config.n_pages as u64) as u16;
+        let mut payload = [0u8; 32];
+        payload[..8].copy_from_slice(&id.to_le_bytes());
+        payload[8..16].copy_from_slice(&rng.next().to_le_bytes());
+        let write = PartialWrite::new([(page, bytes::Bytes::copy_from_slice(&payload))]);
+        (
+            NodeId(0),
+            ClientRequest::Write {
+                id,
+                write: write.clone(),
+            },
+            Some(write),
+        )
+    }
+}
+
+/// Runs the closed loop against a [`StepDriver`] cluster in simulated
+/// time, then checks 1SR and the cluster invariants.
+pub fn run_sim(config: ProtocolConfig, n: usize, spec: &LoadSpec) -> LoadReport {
+    let mut driver = StepDriver::new(n, config.clone());
+    let mut rng = XorShift(spec.seed | 1);
+    let deadline = SimTime(spec.duration_ms * 1000);
+    let slice = SimDuration::from_millis(5);
+
+    let mut issued: HashMap<u64, IssuedOp> = HashMap::new();
+    let mut open: HashMap<u64, Outstanding> = HashMap::new();
+    let mut idle: Vec<usize> = (0..spec.clients).collect();
+    let mut next_id = 1u64;
+    let mut metrics = Metrics::default();
+    let mut scanned = 0usize;
+
+    while driver.now() < deadline {
+        for client in idle.drain(..) {
+            let id = next_id;
+            next_id += 1;
+            let (node, req, write) = next_request(spec, &config, n, &mut rng, id);
+            issued.insert(
+                id,
+                IssuedOp {
+                    id,
+                    at: driver.now(),
+                    coordinator: node,
+                    write,
+                },
+            );
+            open.insert(
+                id,
+                Outstanding {
+                    client,
+                    issued_us: driver.now().0,
+                    is_write: issued[&id].write.is_some(),
+                },
+            );
+            driver.inject(node, req);
+        }
+        driver.run_for(slice);
+        scanned = drain_sim_outputs(
+            &driver,
+            scanned,
+            deadline,
+            &mut open,
+            &mut idle,
+            &mut metrics,
+        );
+    }
+
+    // Let the stragglers finish so the checker sees complete histories
+    // (completions past the deadline are not counted in the metrics).
+    driver.run_for(SimDuration::from_secs(5));
+    drain_sim_outputs(
+        &driver,
+        scanned,
+        deadline,
+        &mut open,
+        &mut idle,
+        &mut metrics,
+    );
+
+    let mut violations = cluster_invariant_violations(&driver);
+    let check = check_run(&issued, driver.outputs(), config.n_pages);
+    for v in check.violations {
+        violations.push(format!("1SR violation: {v:?}"));
+    }
+    let flushes: u64 = (0..n).map(|i| driver.flushes(NodeId(i as u32))).sum();
+    metrics.into_report(spec.duration_ms as f64 / 1000.0, flushes, violations)
+}
+
+/// Matches new driver outputs against open operations; counts only
+/// completions inside the measurement window. Returns the new scan cursor.
+fn drain_sim_outputs(
+    driver: &StepDriver,
+    mut scanned: usize,
+    deadline: SimTime,
+    open: &mut HashMap<u64, Outstanding>,
+    idle: &mut Vec<usize>,
+    metrics: &mut Metrics,
+) -> usize {
+    let outs = driver.outputs();
+    while scanned < outs.len() {
+        let (t, _, ev) = &outs[scanned];
+        scanned += 1;
+        match ev {
+            ProtocolEvent::ReadOk { id, .. } | ProtocolEvent::WriteOk { id, .. } => {
+                if let Some(op) = open.remove(id) {
+                    if *t <= deadline {
+                        metrics.complete(&op, t.0);
+                    }
+                    idle.push(op.client);
+                }
+            }
+            ProtocolEvent::Failed { id, .. } => {
+                if let Some(op) = open.remove(id) {
+                    metrics.gave_up += 1;
+                    idle.push(op.client);
+                }
+            }
+            _ => {}
+        }
+    }
+    scanned
+}
+
+/// Runs the closed loop against a [`ThreadedRuntime`] of
+/// [`JournaledNode`]s in wall-clock time. With `sync_dir` set, each node
+/// mirrors its journal into a real file there and pays one `fdatasync`
+/// per flush.
+// Wall-clock host loop: `Instant` IS the clock being measured here; the
+// determinism rule targets engine code, not the bench's outer loop.
+#[allow(clippy::disallowed_methods)]
+pub fn run_threaded(
+    config: ProtocolConfig,
+    n: usize,
+    spec: &LoadSpec,
+    sync_dir: Option<std::path::PathBuf>,
+) -> LoadReport {
+    let node_config = config.clone();
+    let tag = std::process::id();
+    let runtime = ThreadedRuntime::spawn(n, spec.seed, Duration::from_millis(20), move |id| {
+        let mut node = JournaledNode::new(id, node_config.clone());
+        if let Some(dir) = &sync_dir {
+            let path = dir.join(format!("coterie-bench-{tag}-n{}.ctj2", id.0));
+            if let Ok(file) = std::fs::File::create(path) {
+                node.attach_sync_file(file);
+            }
+        }
+        node
+    });
+
+    let mut rng = XorShift(spec.seed | 1);
+    let start = Instant::now();
+    let window = Duration::from_millis(spec.duration_ms);
+    let us_now = |start: Instant| start.elapsed().as_micros() as u64;
+
+    let mut issued: HashMap<u64, IssuedOp> = HashMap::new();
+    let mut open: HashMap<u64, Outstanding> = HashMap::new();
+    let mut events: Vec<(SimTime, NodeId, ProtocolEvent)> = Vec::new();
+    let mut metrics = Metrics::default();
+    let mut next_id = 1u64;
+
+    let issue = |client: usize,
+                 rng: &mut XorShift,
+                 next_id: &mut u64,
+                 issued: &mut HashMap<u64, IssuedOp>,
+                 open: &mut HashMap<u64, Outstanding>| {
+        let id = *next_id;
+        *next_id += 1;
+        let (node, req, write) = next_request(spec, &config, n, rng, id);
+        let now_us = us_now(start);
+        issued.insert(
+            id,
+            IssuedOp {
+                id,
+                at: SimTime(now_us),
+                coordinator: node,
+                write: write.clone(),
+            },
+        );
+        open.insert(
+            id,
+            Outstanding {
+                client,
+                issued_us: now_us,
+                is_write: write.is_some(),
+            },
+        );
+        runtime.inject(node, req);
+    };
+    for client in 0..spec.clients {
+        issue(client, &mut rng, &mut next_id, &mut issued, &mut open);
+    }
+
+    // Measurement window: reissue on every completion.
+    while start.elapsed() < window {
+        let Some((from, ev)) = runtime.recv_output(Duration::from_millis(2)) else {
+            continue;
+        };
+        let t = SimTime(us_now(start));
+        if let Some((op, gave_up)) = completion(&ev, &mut open) {
+            if !gave_up && t <= SimTime(spec.duration_ms * 1000) {
+                metrics.complete(&op, t.0);
+            }
+            metrics.gave_up += gave_up as u64;
+            issue(op.client, &mut rng, &mut next_id, &mut issued, &mut open);
+        }
+        events.push((t, from, ev));
+    }
+
+    // Grace period: let in-flight operations finish (uncounted) so the
+    // 1SR checker sees complete write/read histories, then stop.
+    let grace = Instant::now();
+    while !open.is_empty() && grace.elapsed() < Duration::from_secs(3) {
+        let Some((from, ev)) = runtime.recv_output(Duration::from_millis(10)) else {
+            continue;
+        };
+        let t = SimTime(us_now(start));
+        if let Some((op, gave_up)) = completion(&ev, &mut open) {
+            metrics.gave_up += gave_up as u64;
+            let _ = op;
+        }
+        events.push((t, from, ev));
+    }
+    for (from, ev) in runtime.drain_outputs() {
+        events.push((SimTime(us_now(start)), from, ev));
+    }
+    let nodes = runtime.shutdown();
+
+    let flushes: u64 = nodes.iter().map(|node| node.flushes).sum();
+    let mut violations = durable_invariant_violations(&nodes);
+    let check = check_run(&issued, &events, config.n_pages);
+    for v in check.violations {
+        violations.push(format!("1SR violation: {v:?}"));
+    }
+    metrics.into_report(spec.duration_ms as f64 / 1000.0, flushes, violations)
+}
+
+/// Classifies an output event as a completion of an open op. Returns the
+/// op and whether the protocol gave up on it.
+fn completion(
+    ev: &ProtocolEvent,
+    open: &mut HashMap<u64, Outstanding>,
+) -> Option<(Outstanding, bool)> {
+    match ev {
+        ProtocolEvent::ReadOk { id, .. } | ProtocolEvent::WriteOk { id, .. } => {
+            open.remove(id).map(|op| (op, false))
+        }
+        ProtocolEvent::Failed { id, .. } => open.remove(id).map(|op| (op, true)),
+        _ => None,
+    }
+}
+
+/// The explorer's per-state cluster invariants (epoch agreement and
+/// current-replica coherence), applied to threaded nodes after shutdown.
+fn durable_invariant_violations(nodes: &[JournaledNode]) -> Vec<String> {
+    let mut violations = Vec::new();
+    for a in 0..nodes.len() {
+        for b in (a + 1)..nodes.len() {
+            let (da, db) = (&nodes[a].node.durable, &nodes[b].node.durable);
+            if da.enumber == db.enumber && da.elist != db.elist {
+                violations.push(format!(
+                    "epoch safety: nodes {a} and {b} both in epoch {} but lists {:?} vs {:?}",
+                    da.enumber, da.elist, db.elist
+                ));
+            }
+            if da.version == db.version
+                && !da.stale
+                && !db.stale
+                && da.object.digest() != db.object.digest()
+            {
+                violations.push(format!(
+                    "coherence: nodes {a} and {b} both current at version {} with \
+                     different contents",
+                    da.version
+                ));
+            }
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coterie_quorum::GridCoterie;
+    use std::sync::Arc;
+
+    fn spec(read_permille: u64) -> LoadSpec {
+        LoadSpec {
+            clients: 8,
+            read_permille,
+            duration_ms: 400,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn sim_load_baseline_is_clean() {
+        let config = ProtocolConfig::new(Arc::new(GridCoterie::new()), 9);
+        let report = run_sim(config, 9, &spec(500));
+        assert!(report.committed > 0, "no ops completed");
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn sim_load_fully_enabled_is_clean_and_batches() {
+        let config = ProtocolConfig::new(Arc::new(GridCoterie::new()), 9)
+            .write_batch(8)
+            .pipeline(4)
+            .group_commit(8, SimDuration::from_millis(2));
+        let report = run_sim(config, 9, &spec(500));
+        assert!(report.committed > 0, "no ops completed");
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert!(report.writes > 0, "write-heavy mix committed no writes");
+    }
+
+    #[test]
+    fn threaded_load_smoke() {
+        let config = ProtocolConfig::new(Arc::new(GridCoterie::new()), 5)
+            .write_batch(8)
+            .pipeline(4)
+            .group_commit(8, SimDuration::from_millis(2));
+        let report = run_threaded(
+            config,
+            5,
+            &LoadSpec {
+                clients: 4,
+                read_permille: 500,
+                duration_ms: 300,
+                seed: 11,
+            },
+            None,
+        );
+        assert!(report.committed > 0, "no ops completed");
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+    }
+}

@@ -74,6 +74,12 @@ pub struct ProtocolConfig {
     /// on it (the epoch-checking protocol owns long-term repair). Must be
     /// at least 1.
     pub max_prop_attempts: u32,
+    /// Re-offer coalescing window (DESIGN.md §10): after a peer is brought
+    /// current, a re-offer to it (the peer was re-marked stale by newer
+    /// writes) waits out this window so one offer — carrying every delta
+    /// committed meanwhile — replaces the one-offer-per-delta chatter a
+    /// write burst would otherwise produce.
+    pub propagation_coalesce: SimDuration,
     /// How long a recovered participant waits between decision queries for
     /// an in-doubt transaction.
     pub decision_retry: SimDuration,
@@ -94,6 +100,37 @@ pub struct ProtocolConfig {
     /// simultaneous node failures less than the safety threshold". Zero
     /// disables the mechanism.
     pub safety_threshold: usize,
+    /// Coordinator-side write batching (DESIGN.md §10): the maximum number
+    /// of client writes coalesced into one lock/2PC round. While a write
+    /// round is in flight at a coordinator, further client writes queue
+    /// and commit together in the next round — one permission phase, one
+    /// prepare/vote exchange, and one `DurableDelta` per batch instead of
+    /// per write. `1` disables batching (every write runs its own round).
+    /// Only the stale-marking write mode batches; the write-all-current
+    /// baseline keeps its one-write rounds.
+    pub max_write_batch: usize,
+    /// Pipelined 2PC (DESIGN.md §10): the number of consecutive write
+    /// rounds a coordinator may run under a single permission phase. After
+    /// a round commits with more writes queued, the coordinator sends the
+    /// decision with a lock-handoff (`chain`) and the next round's prepare
+    /// in the same breath — round k+1's prepare is in flight while round
+    /// k's commit decisions still are, instead of paying a fresh
+    /// permission round-trip and racing the decision delivery. Bounded so
+    /// reads and epoch prepares cannot starve behind an endless chain;
+    /// `1` disables pipelining.
+    pub pipeline_window: u32,
+    /// Group commit of journal appends (DESIGN.md §10): how many
+    /// `DurableDelta`s a journaling host may coalesce into one frame-flush
+    /// (one header rewrite, one fsync on real storage) before it must
+    /// flush. Effects that follow a buffered delta — client acks
+    /// included — are deferred until the covering flush commits
+    /// (ack-before-flush rule). `1` disables group commit (write-through,
+    /// the pre-PR-6 behavior).
+    pub group_commit_max_batch: usize,
+    /// Group commit: the longest a buffered delta may wait for companions
+    /// before the host flushes anyway. Bounds the extra latency group
+    /// commit can add to any single operation.
+    pub group_commit_max_delay: SimDuration,
     /// How the epoch-check initiator is chosen (§4.3 / \[7\]).
     pub initiator: InitiatorPolicy,
     /// Seed for the engine-owned deterministic RNG. Each node derives its
@@ -136,9 +173,14 @@ impl ProtocolConfig {
             propagation_jitter: SimDuration::from_millis(20),
             propagation_retry: SimDuration::from_millis(200),
             max_prop_attempts: 10,
+            propagation_coalesce: SimDuration::from_millis(5),
             decision_retry: SimDuration::from_millis(100),
             lock_propagation: false,
             safety_threshold: 2,
+            max_write_batch: 1,
+            pipeline_window: 1,
+            group_commit_max_batch: 1,
+            group_commit_max_delay: SimDuration::from_millis(2),
             initiator: InitiatorPolicy::RankStagger,
             seed: 0,
         }
@@ -203,6 +245,25 @@ impl ProtocolConfig {
     /// Uses the bully election \[7\] to choose the epoch-check initiator.
     pub fn bully_election(mut self) -> Self {
         self.initiator = InitiatorPolicy::Bully;
+        self
+    }
+
+    /// Sets the write-batching cap (minimum 1; 1 disables batching).
+    pub fn write_batch(mut self, n: usize) -> Self {
+        self.max_write_batch = n.max(1);
+        self
+    }
+
+    /// Sets the pipelined-2PC window (minimum 1; 1 disables pipelining).
+    pub fn pipeline(mut self, window: u32) -> Self {
+        self.pipeline_window = window.max(1);
+        self
+    }
+
+    /// Sets the group-commit knobs (batch minimum 1; 1 disables).
+    pub fn group_commit(mut self, max_batch: usize, max_delay: SimDuration) -> Self {
+        self.group_commit_max_batch = max_batch.max(1);
+        self.group_commit_max_delay = max_delay;
         self
     }
 }

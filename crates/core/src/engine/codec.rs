@@ -249,14 +249,17 @@ fn put_log(out: &mut Vec<u8>, log: &WriteLog) {
 fn put_action(out: &mut Vec<u8>, action: &Action) {
     match action {
         Action::DoUpdate {
-            write,
+            writes,
             new_version,
             stale,
             good,
             base,
         } => {
             out.push(0);
-            put_write(out, write);
+            put_u32(out, writes.len() as u32);
+            for write in writes {
+                put_write(out, write);
+            }
             put_u64(out, *new_version);
             put_nodes(out, stale);
             put_nodes(out, good);
@@ -448,7 +451,11 @@ impl<'a> Reader<'a> {
     fn action(&mut self) -> Result<Action, DecodeError> {
         match self.u8("action tag")? {
             0 => {
-                let write = self.write()?;
+                let n = self.count("do-update write count")?;
+                let mut writes = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    writes.push(self.write()?);
+                }
                 let new_version = self.u64("action new_version")?;
                 let stale = self.nodes()?;
                 let good = self.nodes()?;
@@ -464,7 +471,7 @@ impl<'a> Reader<'a> {
                     None
                 };
                 Ok(Action::DoUpdate {
-                    write,
+                    writes,
                     new_version,
                     stale,
                     good,
@@ -577,8 +584,11 @@ mod tests {
     fn round_trips_each_action() {
         for action in [
             Action::DoUpdate {
-                write: PartialWrite::new([(1, b("x"))]),
-                new_version: 2,
+                writes: vec![
+                    PartialWrite::new([(1, b("x"))]),
+                    PartialWrite::new([(0, b("y")), (2, b("z"))]),
+                ],
+                new_version: 3,
                 stale: vec![NodeId(3)],
                 good: vec![NodeId(0), NodeId(1)],
                 base: Some((vec![b("p0"), b("p1")], 1)),

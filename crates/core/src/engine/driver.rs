@@ -76,6 +76,14 @@ pub struct StepDriver {
     /// Partition island id per node; nodes in different islands cannot
     /// exchange messages (deliveries bounce as `CallFailed`).
     partition: Vec<u8>,
+    /// Per-node group-commit coalescing buffer (deltas journaled but not
+    /// yet flushed). Always empty when `group_commit_max_batch <= 1`.
+    gc_pending: Vec<Vec<DurableDelta>>,
+    /// Per-node observable effects (sends/outputs) held back behind a
+    /// buffered delta until the covering flush (ack-before-flush).
+    gc_deferred: Vec<Vec<Effect>>,
+    /// Per-node count of journal flushes (header commits) performed.
+    flushes: Vec<u64>,
 }
 
 impl StepDriver {
@@ -97,6 +105,9 @@ impl StepDriver {
                 .map(|id| Failpoints::new(seed ^ (id << 32)))
                 .collect(),
             partition: vec![0; n],
+            gc_pending: vec![Vec::new(); n],
+            gc_deferred: vec![Vec::new(); n],
+            flushes: vec![0; n],
         };
         for id in 0..n as u32 {
             driver.step_node(NodeId(id), Input::Boot);
@@ -247,7 +258,22 @@ impl StepDriver {
     /// messages to it will bounce on delivery.
     pub fn crash(&mut self, node: NodeId) {
         assert!(!self.down[node.0 as usize], "node already down");
-        self.down[node.0 as usize] = true;
+        let i = node.0 as usize;
+        // A crash mid-coalesce leaves the buffered batch as a torn tail on
+        // media: some prefix of its bytes, count never bumped. Replay drops
+        // it — correct, because every observable effect behind it was still
+        // deferred (ack-before-flush), so nothing it covered was promised.
+        if !self.gc_pending[i].is_empty() {
+            let batch = std::mem::take(&mut self.gc_pending[i]);
+            let total: usize = batch
+                .iter()
+                .map(|d| super::codec::encode_delta(d).len() + 8)
+                .sum();
+            let keep = self.failpoints[i].draw(total as u64) as usize;
+            self.journals[i].append_batch_torn(&batch, keep);
+        }
+        self.gc_deferred[i].clear();
+        self.down[i] = true;
         self.timers.retain(|t| t.node != node);
         self.step_node(node, Input::Crash);
     }
@@ -290,6 +316,12 @@ impl StepDriver {
                 self.deliver(0);
                 continue;
             }
+            // Message pool drained: a real host's flush deadline
+            // (`group_commit_max_delay`, ~ms) expires before any protocol
+            // timer (~tens of ms), so the buffers flush before timers fire.
+            if self.flush_group_commit() {
+                continue;
+            }
             let next = self
                 .timers
                 .iter()
@@ -316,13 +348,21 @@ impl StepDriver {
 
     fn step_node(&mut self, node: NodeId, input: Input) {
         let effects = self.nodes[node.0 as usize].step(self.now, input);
+        let i = node.0 as usize;
+        let group = self.config.group_commit_max_batch > 1;
         for effect in effects {
             match effect {
-                Effect::Send { to, msg } => self.messages.push(Envelope {
-                    from: node,
-                    to,
-                    msg,
-                }),
+                Effect::Send { to, msg } => {
+                    if group && !self.gc_pending[i].is_empty() {
+                        self.gc_deferred[i].push(Effect::Send { to, msg });
+                    } else {
+                        self.messages.push(Envelope {
+                            from: node,
+                            to,
+                            msg,
+                        });
+                    }
+                }
                 Effect::SetTimer { id, delay, timer } => self.timers.push(PendingTimer {
                     node,
                     id,
@@ -333,21 +373,127 @@ impl StepDriver {
                     self.timers.retain(|t| !(t.node == node && t.id == id));
                 }
                 Effect::Persist(delta) => {
-                    if !self.persist(node, &delta) {
+                    if group {
+                        // Coalesce; the covering flush happens at the batch
+                        // cap (below) or when the schedule goes idle
+                        // (`run_for`) or the caller flushes explicitly.
+                        self.gc_pending[i].push(*delta);
+                        if self.gc_pending[i].len() >= self.config.group_commit_max_batch
+                            && !self.flush_node(node)
+                        {
+                            return; // node fail-stopped mid-flush
+                        }
+                    } else if !self.persist(node, &delta) {
                         // The append failed (wholly or torn): the write
                         // never became stable, so the effects that were to
                         // follow it must not happen — the node fail-stops
                         // mid-step, exactly like a crash between the disk
                         // write and the acks it would have covered.
-                        self.down[node.0 as usize] = true;
+                        self.down[i] = true;
                         self.timers.retain(|t| t.node != node);
                         self.step_node(node, Input::Crash);
                         return;
                     }
                 }
-                Effect::Output(ev) => self.outputs.push((self.now, node, ev)),
+                Effect::Output(ev) => {
+                    if group && !self.gc_pending[i].is_empty() {
+                        self.gc_deferred[i].push(Effect::Output(ev));
+                    } else {
+                        self.outputs.push((self.now, node, ev));
+                    }
+                }
             }
         }
+    }
+
+    /// Flushes `node`'s group-commit buffer: one batched journal append
+    /// (the failpoint registry is consulted once per *flush*, matching a
+    /// real host's one-write-per-fsync fault surface), then the deferred
+    /// observable effects are released in their original order. Returns
+    /// false if the node fail-stopped (append fault).
+    fn flush_node(&mut self, node: NodeId) -> bool {
+        let i = node.0 as usize;
+        if !self.gc_pending[i].is_empty() {
+            let batch = std::mem::take(&mut self.gc_pending[i]);
+            let ok = match self.failpoints[i].check(sites::JOURNAL_APPEND) {
+                None => {
+                    self.journals[i].append_batch(&batch);
+                    true
+                }
+                Some(FaultKind::AppendFail) => false,
+                Some(FaultKind::TornWrite) => {
+                    let total: usize = batch
+                        .iter()
+                        .map(|d| super::codec::encode_delta(d).len() + 8)
+                        .sum();
+                    let keep = self.failpoints[i].draw(total as u64) as usize;
+                    self.journals[i].append_batch_torn(&batch, keep);
+                    false
+                }
+                Some(FaultKind::BitFlip) => {
+                    self.journals[i].append_batch(&batch);
+                    let len = self.journals[i].bytes().len() as u64;
+                    let byte = self.failpoints[i].draw(len) as usize;
+                    let bit = self.failpoints[i].draw(8) as u8;
+                    self.journals[i].flip_bit(byte, bit);
+                    true
+                }
+            };
+            if !ok {
+                // Nothing covered by the lost batch was acknowledged; the
+                // node fail-stops exactly like a write-through append
+                // fault, dropping the deferred effects with it.
+                self.gc_deferred[i].clear();
+                self.down[i] = true;
+                self.timers.retain(|t| t.node != node);
+                self.step_node(node, Input::Crash);
+                return false;
+            }
+            self.flushes[i] += 1;
+        }
+        for effect in std::mem::take(&mut self.gc_deferred[i]) {
+            match effect {
+                Effect::Send { to, msg } => self.messages.push(Envelope {
+                    from: node,
+                    to,
+                    msg,
+                }),
+                Effect::Output(ev) => self.outputs.push((self.now, node, ev)),
+                // buffer_step defers only Send/Output; anything else here
+                // would be a bug, but dropping it is safe (timers and
+                // persists are applied immediately, never deferred).
+                _ => {}
+            }
+        }
+        true
+    }
+
+    /// Flushes every node's group-commit buffer; returns true if any node
+    /// had buffered deltas or deferred effects to release.
+    pub fn flush_group_commit(&mut self) -> bool {
+        let mut any = false;
+        for id in 0..self.nodes.len() as u32 {
+            let i = id as usize;
+            if self.down[i] {
+                continue;
+            }
+            if !self.gc_pending[i].is_empty() || !self.gc_deferred[i].is_empty() {
+                any = true;
+                self.flush_node(NodeId(id));
+            }
+        }
+        any
+    }
+
+    /// Journal flushes (header commits; fsyncs on a real host) performed
+    /// by `node` so far.
+    pub fn flushes(&self, node: NodeId) -> u64 {
+        self.flushes[node.0 as usize]
+    }
+
+    /// Deltas currently coalescing in `node`'s group-commit buffer.
+    pub fn gc_buffered(&self, node: NodeId) -> usize {
+        self.gc_pending[node.0 as usize].len()
     }
 
     /// Appends `delta` to `node`'s journal, consulting the failpoint
@@ -389,8 +535,8 @@ impl StepDriver {
         for (i, node) in self.nodes.iter().enumerate() {
             let _ = write!(
                 repr,
-                "n{i};down={};isl={};",
-                self.down[i], self.partition[i]
+                "n{i};down={};isl={};gcp={:?};gcd={:?};",
+                self.down[i], self.partition[i], self.gc_pending[i], self.gc_deferred[i]
             );
             canonical_node(&mut repr, node);
         }
@@ -450,6 +596,7 @@ fn canonical_node(out: &mut String, node: &ReplicaNode) {
     let leases: Vec<_> = v.lock_leases.iter().map(|(op, id)| (*op, id.0)).collect();
     let _ = write!(out, "leases={leases:?};");
     sorted_map(out, "writes", &v.writes);
+    let _ = write!(out, "write_queue={:?};", v.write_queue);
     sorted_map(out, "reads", &v.reads);
     sorted_map(out, "epochs", &v.epochs);
     let attempts: Vec<_> = v

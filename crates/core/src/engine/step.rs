@@ -97,7 +97,7 @@ impl ReplicaNode {
             Msg::Release { op } => self.release_lock(ctx, op),
             Msg::Prepare { op, action, extra } => self.srv_prepare(ctx, from, op, action, extra),
             Msg::Vote { op, yes } => self.on_vote(ctx, from, op, yes),
-            Msg::Decision { op, commit } => self.srv_decision(ctx, from, op, commit),
+            Msg::Decision { op, commit, chain } => self.srv_decision(ctx, from, op, commit, chain),
             Msg::DecisionQuery { op } => self.srv_decision_query(ctx, from, op),
             Msg::FetchReq { op } => self.srv_fetch_req(ctx, from, op),
             Msg::FetchResp { op, version, pages } => {
@@ -177,11 +177,16 @@ impl ReplicaNode {
             Timer::EpochTick => self.on_epoch_tick(ctx),
             Timer::EpochRetry => self.on_epoch_retry(ctx),
             Timer::PropKick => self.on_prop_kick(ctx),
+            Timer::WriteQueueKick => self.on_write_queue_kick(ctx),
             Timer::PropTimeout { prop } => self.on_prop_timeout(ctx, prop),
             Timer::PropLease { prop } => self.on_prop_lease(ctx, prop),
             Timer::DecisionRetry { op } => self.on_decision_retry(ctx, op),
             Timer::RejoinRetry => self.on_rejoin_retry(ctx),
             Timer::ElectionTimeout { round } => self.on_election_timeout(ctx, round),
+            // Host-owned: journaling hosts intercept this before the engine
+            // ever sees it. Reaching here (e.g. a host without group
+            // commit replaying a recorded timer) is a harmless no-op.
+            Timer::HostFlush => {}
         }
     }
 }

@@ -424,6 +424,48 @@ impl FramedJournal {
         self.rewrite_header();
     }
 
+    /// Group commit (DESIGN.md §10): appends every record of `deltas` and
+    /// commits them all with a *single* header rewrite — one frame-flush
+    /// (one fsync on real storage) amortized over the whole batch. The
+    /// resulting bytes are identical to appending the same deltas one at a
+    /// time: records are laid out in order and the header ends at the same
+    /// final count, so replay cannot tell group commit happened.
+    pub fn append_batch(&mut self, deltas: &[DurableDelta]) {
+        if deltas.is_empty() {
+            return;
+        }
+        for delta in deltas {
+            let payload = super::codec::encode_delta(delta);
+            self.buf
+                .extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            self.buf
+                .extend_from_slice(&super::codec::crc32(&payload).to_le_bytes());
+            self.buf.extend_from_slice(&payload);
+        }
+        self.count += deltas.len() as u64;
+        self.appended_total += deltas.len() as u64;
+        self.rewrite_header();
+    }
+
+    /// A torn group-commit flush: only `keep` bytes of the batch's records
+    /// reach the journal and the count is *not* bumped, so replay drops
+    /// the whole batch as a torn tail. Correct because the single header
+    /// rewrite is the batch's only commit point — a crash anywhere before
+    /// it loses every delta of the batch, none of which was acknowledged
+    /// (ack-before-flush). At least one byte is always dropped.
+    pub fn append_batch_torn(&mut self, deltas: &[DurableDelta], keep: usize) {
+        let mut record = Vec::new();
+        for delta in deltas {
+            let payload = super::codec::encode_delta(delta);
+            record.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            record.extend_from_slice(&super::codec::crc32(&payload).to_le_bytes());
+            record.extend_from_slice(&payload);
+        }
+        let keep = keep.min(record.len().saturating_sub(1));
+        self.buf.extend_from_slice(&record[..keep]);
+        self.appended_total += deltas.len() as u64;
+    }
+
     /// A torn append: only `keep` bytes of the record reach the journal
     /// and the count is *not* bumped — the on-media state after a crash
     /// mid-append. At least one byte is always dropped (a fully-written
@@ -570,6 +612,62 @@ impl FramedJournal {
         let crc = super::codec::crc32(&count_bytes).to_le_bytes();
         self.buf[4..12].copy_from_slice(&count_bytes);
         self.buf[12..16].copy_from_slice(&crc);
+    }
+}
+
+/// The coalescing half of group commit (DESIGN.md §10): deltas accumulate
+/// here until the batch cap is hit or the host's flush deadline fires, then
+/// drain into one [`FramedJournal::append_batch`]. The buffer itself is
+/// host-agnostic bookkeeping — *hosts* own the two correctness rules that
+/// make coalescing safe:
+///
+/// * **Ack-before-flush**: every effect of a step whose `Persist` is still
+///   buffered (sends, outputs — anything observable) must be deferred
+///   until the covering flush commits. A buffered delta that never reaches
+///   media is then indistinguishable from a crash just before the step.
+/// * **Crash = torn tail**: a crash with a non-empty buffer loses the
+///   whole buffered suffix; since nothing it covered was acknowledged,
+///   replay's torn-tail classification recovers correctly.
+#[derive(Clone, Debug, Default)]
+pub struct GroupCommitBuffer {
+    pending: Vec<DurableDelta>,
+    max_batch: usize,
+}
+
+impl GroupCommitBuffer {
+    /// A buffer flushing after at most `max_batch` deltas (minimum 1).
+    pub fn new(max_batch: usize) -> Self {
+        GroupCommitBuffer {
+            pending: Vec::new(),
+            max_batch: max_batch.max(1),
+        }
+    }
+
+    /// Buffers one delta; returns true when the batch cap is reached and
+    /// the caller must flush now.
+    pub fn push(&mut self, delta: DurableDelta) -> bool {
+        self.pending.push(delta);
+        self.pending.len() >= self.max_batch
+    }
+
+    /// Deltas currently buffered.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// The buffered deltas (digest/inspection; flushing uses `drain`).
+    pub fn pending(&self) -> &[DurableDelta] {
+        &self.pending
+    }
+
+    /// Takes the buffered batch, leaving the buffer empty.
+    pub fn drain(&mut self) -> Vec<DurableDelta> {
+        std::mem::take(&mut self.pending)
     }
 }
 
@@ -834,6 +932,59 @@ mod tests {
         assert_eq!(replay.durable, state);
         assert_eq!(journal.committed_records(), 1);
         assert!(journal.appended_total() > total_before);
+    }
+
+    #[test]
+    fn batch_append_is_byte_identical_to_sequential() {
+        let config = cfg();
+        let (one_by_one, state) = build_framed(&config, 5);
+        // Re-derive the same delta sequence and append it as one batch.
+        let mut deltas = Vec::new();
+        let replayed = one_by_one.replay_checked(&config);
+        assert_eq!(replayed.durable, state);
+        let mut cur = Durable::pristine(&config);
+        for v in 1..=5u64 {
+            let mut next = cur.clone();
+            next.version = v;
+            next.object
+                .apply(&PartialWrite::new([((v % 4) as PageId, b("pg"))]));
+            next.log.push(LogEntry {
+                version: v,
+                write: PartialWrite::new([((v % 4) as PageId, b("pg"))]),
+            });
+            deltas.push(DurableDelta::diff(&cur, &next).expect("changed"));
+            cur = next;
+        }
+        let mut batched = FramedJournal::new();
+        batched.append_batch(&deltas);
+        assert_eq!(batched.bytes(), one_by_one.bytes());
+        assert_eq!(batched.committed_records(), 5);
+    }
+
+    #[test]
+    fn torn_batch_flush_drops_whole_batch() {
+        let config = cfg();
+        let (mut journal, state) = build_framed(&config, 2);
+        let d1 = DurableDelta {
+            version: Some(3),
+            ..DurableDelta::default()
+        };
+        let d2 = DurableDelta {
+            version: Some(4),
+            ..DurableDelta::default()
+        };
+        journal.append_batch_torn(&[d1, d2], usize::MAX);
+        let replay = journal.replay_checked(&config);
+        assert!(
+            matches!(replay.verdict, ReplayVerdict::TornTail { .. }),
+            "torn batch must classify as torn tail: {:?}",
+            replay.verdict
+        );
+        assert_eq!(replay.durable, state, "no partial batch survives");
+        // truncate_tail heals the journal for further appends.
+        let mut healed = journal.clone();
+        assert!(healed.truncate_tail() > 0);
+        assert_eq!(healed.replay_checked(&config).verdict, ReplayVerdict::Clean);
     }
 
     #[test]

@@ -284,7 +284,14 @@ impl ReplicaNode {
         ctx.cancel_timer(timer);
         self.durable.decisions.insert(op, true);
         for &p in &participants {
-            ctx.send(p, Msg::Decision { op, commit: true });
+            ctx.send(
+                p,
+                Msg::Decision {
+                    op,
+                    commit: true,
+                    chain: None,
+                },
+            );
         }
         self.stats.epoch_changes += 1;
         self.finish_epoch_check(ctx, op);
@@ -310,7 +317,14 @@ impl ReplicaNode {
             let participants = participants.clone();
             self.durable.decisions.insert(op, false);
             for &p in &participants {
-                ctx.send(p, Msg::Decision { op, commit: false });
+                ctx.send(
+                    p,
+                    Msg::Decision {
+                        op,
+                        commit: false,
+                        chain: None,
+                    },
+                );
             }
         }
         self.finish_epoch_check(ctx, op);

@@ -20,15 +20,81 @@
 //!   A quarantined replay (damage inside the committed prefix) makes the
 //!   next start a [`Input::BootQuarantined`], which enters the
 //!   stale-rejoin protocol instead of booting normally.
+//!
+//! When [`group_commit_max_batch`] is above 1, `JournaledNode` coalesces
+//! journal appends (DESIGN.md §10): `Persist` deltas accumulate in a
+//! [`GroupCommitBuffer`] and flush as one [`FramedJournal::append_batch`]
+//! when the batch cap is hit or the [`Timer::HostFlush`] deadline fires.
+//! While any delta is buffered, every *observable* effect (`Send`,
+//! `Output`) is deferred until the covering flush — the ack-before-flush
+//! rule: a client ack or a 2PC vote must never outrun the stable-storage
+//! write that justifies it. Timer effects stay immediate: they are local,
+//! leak nothing, and the engine's handlers already tolerate spurious
+//! firings. A crash with a non-empty buffer simply discards it — none of
+//! the buffered steps' observable effects escaped, so recovery is
+//! identical to crashing just before those steps ran.
+//!
+//! [`group_commit_max_batch`]: crate::config::ProtocolConfig::group_commit_max_batch
 
-use coterie_base::SimTime;
+use coterie_base::{SimTime, TimerId};
 use coterie_quorum::NodeId;
 use coterie_simnet::{Application, Ctx};
 
 use crate::engine::io::{Effect, Input};
-use crate::engine::storage::FramedJournal;
+use crate::engine::storage::{FramedJournal, GroupCommitBuffer};
 use crate::msg::{ClientRequest, Msg, ProtocolEvent};
 use crate::node::{ReplicaNode, Timer};
+
+/// The reserved timer id for the host-owned group-commit flush deadline.
+/// The engine allocates ids from a counter starting at 0 and can never
+/// reach this value in any feasible run.
+pub const HOST_FLUSH_TIMER: TimerId = TimerId(u64::MAX);
+
+/// A best-effort on-disk mirror of the journal image, used by the
+/// throughput bench to charge each flush a real `fsync`. Errors are
+/// swallowed: the in-memory [`FramedJournal`] stays authoritative, the
+/// sink only exists so a flush costs what it would on real storage.
+#[derive(Clone, Debug)]
+pub struct SyncSink {
+    file: std::sync::Arc<std::fs::File>,
+    /// Bytes of the journal image already on disk.
+    synced: usize,
+}
+
+impl SyncSink {
+    /// Wraps `file` (created/truncated by the caller) as a sink.
+    pub fn new(file: std::fs::File) -> Self {
+        SyncSink {
+            file: std::sync::Arc::new(file),
+            synced: 0,
+        }
+    }
+
+    /// Mirrors `bytes` (the current journal image) to disk and issues one
+    /// `fdatasync`. Appends write only the new suffix; the 16-byte header
+    /// is rewritten every time (it carries the commit pointer); a shrink
+    /// (truncated tail / quarantine reset) rewrites the whole image.
+    fn commit(&mut self, bytes: &[u8]) {
+        use std::io::{Seek, SeekFrom, Write};
+        let mut f: &std::fs::File = &self.file;
+        if bytes.len() < self.synced {
+            let _ = f.set_len(0);
+            self.synced = 0;
+        }
+        let header_end = bytes.len().min(16);
+        let _ = f
+            .seek(SeekFrom::Start(0))
+            .and_then(|_| f.write_all(&bytes[..header_end]));
+        let tail_from = self.synced.max(header_end);
+        if bytes.len() > tail_from {
+            let _ = f
+                .seek(SeekFrom::Start(tail_from as u64))
+                .and_then(|_| f.write_all(&bytes[tail_from..]));
+        }
+        self.synced = bytes.len();
+        let _ = f.sync_data();
+    }
+}
 
 /// Replays engine effects onto a simulator context. `Persist` effects are
 /// handled by the caller (journaling hosts intercept them first).
@@ -89,7 +155,8 @@ impl Application for ReplicaNode {
 
 /// A replica host that treats the [`FramedJournal`] as its only stable
 /// storage: durable state is recovered from checked journal replay after
-/// every crash rather than trusted from memory.
+/// every crash rather than trusted from memory. Optionally group-commits
+/// journal appends (see the module docs).
 #[derive(Clone, Debug)]
 pub struct JournaledNode {
     /// The engine.
@@ -99,16 +166,41 @@ pub struct JournaledNode {
     /// Set when the last crash-replay quarantined the journal; the next
     /// start boots via the stale-rejoin protocol.
     quarantined: bool,
+    /// Coalescing buffer for group commit (cap 1 = write-through).
+    buffer: GroupCommitBuffer,
+    /// Observable effects held back until the covering flush.
+    deferred: Vec<Effect>,
+    /// True while a [`HOST_FLUSH_TIMER`] is armed.
+    flush_armed: bool,
+    /// Journal flushes performed (each is one header commit; on real
+    /// storage, one fsync). The throughput bench reads this to show the
+    /// fsync amortization group commit buys.
+    pub flushes: u64,
+    /// Optional on-disk mirror: every flush also writes the journal delta
+    /// to a real file and `fdatasync`s it.
+    sync: Option<SyncSink>,
 }
 
 impl JournaledNode {
     /// Creates a journaled node with pristine state and an empty journal.
     pub fn new(me: NodeId, config: crate::config::ProtocolConfig) -> Self {
+        let cap = config.group_commit_max_batch;
         JournaledNode {
             node: ReplicaNode::new(me, config),
             journal: FramedJournal::new(),
             quarantined: false,
+            buffer: GroupCommitBuffer::new(cap),
+            deferred: Vec::new(),
+            flush_armed: false,
+            flushes: 0,
+            sync: None,
         }
+    }
+
+    /// Attaches a real file the journal image is mirrored to; every flush
+    /// then costs one `fdatasync` on it. The file should be empty.
+    pub fn attach_sync_file(&mut self, file: std::fs::File) {
+        self.sync = Some(SyncSink::new(file));
     }
 
     /// True while a quarantined replay is waiting for its rejoin boot.
@@ -116,15 +208,74 @@ impl JournaledNode {
         self.quarantined
     }
 
-    fn run(&mut self, ctx: &mut Ctx<'_, Self>, input: Input) {
-        let effects = self.node.step(ctx.now(), input);
-        // Write-ahead: journal the delta before any send/output it governs.
-        for effect in &effects {
-            if let Effect::Persist(delta) = effect {
-                self.journal.append_delta(delta);
+    /// Deltas buffered and not yet flushed to the journal.
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+
+    fn flush(&mut self, ctx: &mut Ctx<'_, Self>) {
+        if !self.buffer.is_empty() {
+            let batch = self.buffer.drain();
+            self.journal.append_batch(&batch);
+            self.flushes += 1;
+            if let Some(sink) = &mut self.sync {
+                sink.commit(self.journal.bytes());
             }
         }
-        replay_effects(ctx, &effects);
+        if std::mem::take(&mut self.flush_armed) {
+            ctx.cancel_timer(HOST_FLUSH_TIMER);
+        }
+        let held = std::mem::take(&mut self.deferred);
+        replay_effects(ctx, &held);
+    }
+
+    fn run(&mut self, ctx: &mut Ctx<'_, Self>, input: Input) {
+        let effects = self.node.step(ctx.now(), input);
+        let write_through = self.node.config.group_commit_max_batch <= 1;
+        if write_through {
+            // Write-ahead: journal the delta before any send/output it
+            // governs.
+            for effect in &effects {
+                if let Effect::Persist(delta) = effect {
+                    self.journal.append_delta(delta);
+                    self.flushes += 1;
+                    if let Some(sink) = &mut self.sync {
+                        sink.commit(self.journal.bytes());
+                    }
+                }
+            }
+            replay_effects(ctx, &effects);
+            return;
+        }
+        let mut must_flush = false;
+        for effect in effects {
+            match effect {
+                Effect::Persist(delta) => {
+                    if self.buffer.is_empty() && !self.flush_armed {
+                        let delay = self.node.config.group_commit_max_delay;
+                        ctx.set_timer_with_id(HOST_FLUSH_TIMER, delay, Timer::HostFlush);
+                        self.flush_armed = true;
+                    }
+                    must_flush |= self.buffer.push(*delta);
+                }
+                Effect::SetTimer { id, delay, timer } => {
+                    ctx.set_timer_with_id(id, delay, timer);
+                }
+                Effect::CancelTimer(id) => ctx.cancel_timer(id),
+                observable @ (Effect::Send { .. } | Effect::Output(_)) => {
+                    // Ack-before-flush: anything behind a buffered delta
+                    // waits for the flush that makes the delta stable.
+                    if self.buffer.is_empty() {
+                        replay_effects(ctx, std::slice::from_ref(&observable));
+                    } else {
+                        self.deferred.push(observable);
+                    }
+                }
+            }
+        }
+        if must_flush {
+            self.flush(ctx);
+        }
     }
 }
 
@@ -152,6 +303,13 @@ impl Application for JournaledNode {
 
     fn on_crash(&mut self) {
         let _ = self.node.step(SimTime::ZERO, Input::Crash);
+        // A crash loses the coalescing buffer and everything deferred
+        // behind it — none of it was observable, so this is the same as
+        // crashing before those steps. The host drops our timers (the
+        // flush deadline included).
+        self.buffer.drain();
+        self.deferred.clear();
+        self.flush_armed = false;
         // Lose the in-memory durable state; come back from "disk" via a
         // checked replay. A torn tail is truncated (it was never
         // acknowledged); a quarantined journal is reset to the intact
@@ -175,10 +333,25 @@ impl Application for JournaledNode {
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, Self>, timer: Timer) {
+        // Intercept the host-owned flush deadline; it never reaches the
+        // engine.
+        if matches!(timer, Timer::HostFlush) {
+            self.flush_armed = false;
+            self.flush(ctx);
+            return;
+        }
         self.run(ctx, Input::TimerFired(timer));
     }
 
     fn on_external(&mut self, ctx: &mut Ctx<'_, Self>, request: ClientRequest) {
         self.run(ctx, Input::External(request));
+    }
+
+    fn on_idle(&mut self, ctx: &mut Ctx<'_, Self>) {
+        // The inbox is empty, so nothing else is coming to fill the
+        // batch; waiting out the flush deadline would be pure latency.
+        if !self.buffer.is_empty() || !self.deferred.is_empty() {
+            self.flush(ctx);
+        }
     }
 }

@@ -77,6 +77,20 @@ impl ReplicaLock {
         self.shared.remove(&op);
     }
 
+    /// Hands the exclusive lock from `from` to `to` without an unlocked
+    /// window in between (pipelined 2PC's decision-time chain, DESIGN.md
+    /// §10). Returns false — leaving the lock untouched — unless `from` is
+    /// the current exclusive holder, so a stale or reordered handoff can
+    /// never steal a lock some other operation legitimately acquired.
+    pub fn transfer_exclusive(&mut self, from: OpId, to: OpId) -> bool {
+        if self.exclusive == Some(from) {
+            self.exclusive = Some(to);
+            true
+        } else {
+            false
+        }
+    }
+
     /// Whether `op` currently holds the exclusive lock.
     pub fn held_exclusively_by(&self, op: OpId) -> bool {
         self.exclusive == Some(op)
@@ -175,6 +189,20 @@ mod tests {
         assert!(l.held_exclusively_by(op(7, 7)));
         assert!(!l.held_shared_by(op(0, 1)));
         assert_eq!(l.try_shared(op(2, 2)), LockGrant::Busy);
+    }
+
+    #[test]
+    fn transfer_moves_only_from_current_holder() {
+        let mut l = ReplicaLock::new();
+        l.try_exclusive(op(0, 1));
+        assert!(l.transfer_exclusive(op(0, 1), op(0, 2)));
+        assert!(l.held_exclusively_by(op(0, 2)));
+        // Stale handoff naming the old holder: refused, state untouched.
+        assert!(!l.transfer_exclusive(op(0, 1), op(0, 3)));
+        assert!(l.held_exclusively_by(op(0, 2)));
+        l.release(op(0, 2));
+        assert!(!l.transfer_exclusive(op(0, 2), op(0, 4)));
+        assert!(!l.is_locked());
     }
 
     #[test]

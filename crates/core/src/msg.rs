@@ -54,14 +54,22 @@ pub struct StateTuple {
 /// The payload of a two-phase-commit `Prepare`.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Action {
-    /// Apply `write` and move to `new_version`; the recipient is one of the
-    /// "good" (current) replicas. `stale` is the piggybacked list of nodes
-    /// being marked stale, which the recipient must asynchronously bring up
-    /// to date (the paper's update-propagation trigger).
+    /// Apply `writes` in order and move to `new_version`; the recipient is
+    /// one of the "good" (current) replicas. `stale` is the piggybacked
+    /// list of nodes being marked stale, which the recipient must
+    /// asynchronously bring up to date (the paper's update-propagation
+    /// trigger).
+    ///
+    /// A batch of more than one write is the coordinator-side write
+    /// batching optimization (DESIGN.md §10): several coalesced client
+    /// writes commit under one lock/2PC round, each producing its own
+    /// version — write `i` of the batch establishes version
+    /// `new_version - writes.len() + 1 + i`, so the log keeps one entry
+    /// per client write and propagation contiguity is unchanged.
     DoUpdate {
-        /// The (partial) write to apply.
-        write: PartialWrite,
-        /// Version the replica reaches after applying.
+        /// The (partial) writes to apply, in commit order.
+        writes: Vec<PartialWrite>,
+        /// Version the replica reaches after applying the whole batch.
         new_version: u64,
         /// Nodes being marked stale by this write.
         stale: Vec<NodeId>,
@@ -193,6 +201,14 @@ pub enum Msg {
         op: OpId,
         /// True to commit, false to abort.
         commit: bool,
+        /// Pipelined 2PC (DESIGN.md §10): on commit, hand the replica's
+        /// exclusive lock to this follow-up operation instead of releasing
+        /// it. The coordinator sends the chained round's `Prepare` in the
+        /// same breath, skipping a fresh permission phase; a participant
+        /// that cannot transfer (the lock moved on) simply releases, and
+        /// the chained prepare's lock check votes no — safety never rests
+        /// on the handoff succeeding.
+        chain: Option<OpId>,
     },
     /// A recovered participant asking the coordinator for the outcome of a
     /// prepared-but-undecided operation.

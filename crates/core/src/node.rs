@@ -12,10 +12,10 @@ use crate::msg::{Action, ClientRequest, MsgClass, OpId};
 use crate::propagate::{IncomingProp, Propagator};
 use crate::read::ReadCoordinator;
 use crate::store::{PagedObject, WriteLog};
-use crate::write::WriteCoordinator;
+use crate::write::{BatchEntry, WriteCoordinator};
 use coterie_base::{SimDuration, SimTime, TimerId};
 use coterie_quorum::{NodeId, PlanCache, View};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Timers used by the protocol.
 #[derive(Clone, Debug)]
@@ -54,6 +54,9 @@ pub enum Timer {
     EpochRetry,
     /// Continue the propagation task.
     PropKick,
+    /// Backoff expiry for a requeued (refused) write batch: release the
+    /// held write queue and launch the next round.
+    WriteQueueKick,
     /// A propagation offer or transfer went unanswered.
     PropTimeout {
         /// The propagation attempt.
@@ -77,6 +80,12 @@ pub enum Timer {
         /// The challenge round.
         round: OpId,
     },
+    /// Group-commit flush deadline. *Host-owned*: the engine never sets or
+    /// handles this timer — journaling hosts arm it (with a reserved
+    /// [`TimerId`]) when a delta starts waiting for companions and
+    /// intercept its expiry to flush. It lives in this enum only so hosts
+    /// can express it through the ordinary timer plumbing.
+    HostFlush,
 }
 
 /// State that survives crashes (the paper's per-node protocol state of
@@ -173,6 +182,17 @@ pub struct Volatile {
     pub lock_leases: BTreeMap<OpId, TimerId>,
     /// Write operations this node is coordinating.
     pub writes: BTreeMap<OpId, WriteCoordinator>,
+    /// Client writes waiting to ride the next write round
+    /// (coordinator-side batching, DESIGN.md §10). Volatile: a queued write
+    /// was never acked, so losing the queue in a crash is a client-visible
+    /// timeout, not a durability violation.
+    pub write_queue: VecDeque<BatchEntry>,
+    /// True while a refused batch sits requeued under contention backoff:
+    /// the queue launcher stays quiet until the [`Timer::WriteQueueKick`]
+    /// releases it, so the whole batch (plus anything that queued
+    /// meanwhile) relaunches as one round instead of fragmenting into
+    /// per-client retries.
+    pub write_queue_held: bool,
     /// Read operations this node is coordinating.
     pub reads: BTreeMap<OpId, ReadCoordinator>,
     /// Epoch checks this node is coordinating.
@@ -212,6 +232,8 @@ impl Clone for Volatile {
             lock: self.lock.clone(),
             lock_leases: self.lock_leases.clone(),
             writes: self.writes.clone(),
+            write_queue: self.write_queue.clone(),
+            write_queue_held: self.write_queue_held,
             reads: self.reads.clone(),
             epochs: self.epochs.clone(),
             propagator: self.propagator.clone(),
@@ -247,6 +269,12 @@ pub struct NodeStats {
     pub retries: u64,
     /// Times the heavy procedure ran.
     pub heavy_runs: u64,
+    /// Write rounds opened directly in the voting phase by a pipelined
+    /// lock handoff (each one overlapped its predecessor's decision).
+    pub chained_rounds: u64,
+    /// Client writes that committed while sharing a round with at least
+    /// one other write (coordinator-side batching).
+    pub batched_writes: u64,
     /// Replicas written or marked per committed write (sum, for averaging).
     pub replicas_touched_sum: u64,
     /// Replicas marked stale (sum over committed writes).

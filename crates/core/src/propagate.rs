@@ -12,7 +12,7 @@
 
 use crate::msg::{Msg, OpId, PropPayload, PropReply, ProtocolEvent};
 use crate::node::{NodeCtx, ReplicaNode, Timer};
-use coterie_base::TimerId;
+use coterie_base::{SimTime, TimerId};
 use coterie_quorum::{NodeId, NodeSet};
 use std::collections::BTreeMap;
 
@@ -28,6 +28,11 @@ pub struct Propagator {
     pub attempts: BTreeMap<NodeId, u32>,
     /// Whether a kick timer is pending.
     pub kick_armed: bool,
+    /// Re-offer coalescing deadlines: a target brought current at time `t`
+    /// is not offered to again before `t + propagation_coalesce`, so a
+    /// write burst re-marking it stale yields one offer covering the whole
+    /// burst instead of one offer (plus data and ack) per delta.
+    pub cooldown: BTreeMap<NodeId, SimTime>,
 }
 
 /// One in-flight propagation attempt.
@@ -84,7 +89,7 @@ impl ReplicaNode {
         let Some(next) = self.vol.propagator.remaining.min() else {
             return;
         };
-        let delay = if jittered {
+        let mut delay = if jittered {
             self.jitter(ctx, self.config.propagation_jitter)
         } else {
             let attempts = self
@@ -97,6 +102,17 @@ impl ReplicaNode {
             let base = self.config.propagation_retry * (1u64 << attempts.min(6));
             base + self.jitter(ctx, self.config.propagation_jitter)
         };
+        // Re-offer coalescing: a target we just brought current waits out
+        // its cooldown, so the next offer carries the whole burst.
+        match self.vol.propagator.cooldown.get(&next) {
+            Some(&until) if until > ctx.now() => {
+                delay = delay.max(until - ctx.now());
+            }
+            Some(_) => {
+                self.vol.propagator.cooldown.remove(&next);
+            }
+            None => {}
+        }
         ctx.set_timer(delay, Timer::PropKick);
         self.vol.propagator.kick_armed = true;
     }
@@ -110,6 +126,19 @@ impl ReplicaNode {
         let Some(target) = self.vol.propagator.remaining.min() else {
             return;
         };
+        // Still cooling down (the kick was armed for a different target, or
+        // the target was re-added since): re-arm for the remainder.
+        if self
+            .vol
+            .propagator
+            .cooldown
+            .get(&target)
+            .is_some_and(|&until| until > ctx.now())
+        {
+            self.kick_propagation(ctx, true);
+            return;
+        }
+        self.vol.propagator.cooldown.remove(&target);
         let prop = self.next_op();
         let timeout = self.config.collect_timeout * 4;
         let timer = ctx.set_timer(timeout, Timer::PropTimeout { prop });
@@ -455,6 +484,13 @@ impl ReplicaNode {
             if done {
                 self.vol.propagator.remaining.remove(flight.target);
                 self.vol.propagator.attempts.remove(&flight.target);
+                // Start the re-offer coalescing window: if newer writes
+                // re-mark this target stale, the next offer waits until
+                // the window closes and covers all of them at once.
+                self.vol
+                    .propagator
+                    .cooldown
+                    .insert(flight.target, ctx.now() + self.config.propagation_coalesce);
             }
         }
     }

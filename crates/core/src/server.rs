@@ -121,19 +121,24 @@ impl ReplicaNode {
         }
         let yes = match &action {
             Action::DoUpdate {
-                new_version, base, ..
+                writes,
+                new_version,
+                base,
+                ..
             } => {
-                // Must be exactly one version behind — either behind our
-                // own version or behind the reconciliation base being
-                // shipped to us.
-                let version_ok = match base {
-                    None => !self.durable.stale && *new_version == self.durable.version + 1,
-                    Some((_, base_version)) => {
-                        *new_version == base_version + 1
-                            && *base_version >= self.durable.version
-                            && *base_version >= self.durable.dversion
-                    }
-                };
+                // A batch of k writes advances the version by exactly k —
+                // either from our own version or from the reconciliation
+                // base being shipped to us. An empty batch is malformed.
+                let batch = writes.len() as u64;
+                let version_ok = !writes.is_empty()
+                    && match base {
+                        None => !self.durable.stale && *new_version == self.durable.version + batch,
+                        Some((_, base_version)) => {
+                            *new_version == base_version + batch
+                                && *base_version >= self.durable.version
+                                && *base_version >= self.durable.dversion
+                        }
+                    };
                 // A required participant must still hold the lock it was
                 // granted in the permission phase: if the lease expired
                 // (or a crash forgot the grant), re-acquiring here would
@@ -228,6 +233,7 @@ impl ReplicaNode {
         _from: NodeId,
         op: OpId,
         commit: bool,
+        chain: Option<OpId>,
     ) {
         // An abort may arrive while the prepare is still queued for the
         // lock: drop the queued prepare.
@@ -240,13 +246,35 @@ impl ReplicaNode {
         {
             self.vol.pending_epoch_prepare = None;
         }
-        match self.durable.prepared.take() {
+        let applied = match self.durable.prepared.take() {
             Some((p, action)) if p == op => {
                 if commit {
                     self.apply_action(ctx, &action);
                 }
+                true
             }
-            other => self.durable.prepared = other,
+            other => {
+                self.durable.prepared = other;
+                false
+            }
+        };
+        // Pipelined 2PC handoff: a committing decision may name the
+        // chained round whose prepare is right behind it; move the
+        // exclusive lock (and its lease) to that round instead of opening
+        // an unlocked window another operation could slip into. Only taken
+        // when this node actually applied `op` — a stale duplicate, or a
+        // node whose lock already moved on, falls through to the
+        // idempotent release.
+        if commit && applied {
+            if let Some(next) = chain {
+                if self.vol.lock.transfer_exclusive(op, next) {
+                    if let Some(timer) = self.vol.lock_leases.remove(&op) {
+                        ctx.cancel_timer(timer);
+                    }
+                    self.arm_lock_lease(ctx, next);
+                    return;
+                }
+            }
         }
         // Idempotent: also frees the lock of a participant that voted no
         // (which never prepared) instead of waiting out the lease.
@@ -270,7 +298,16 @@ impl ReplicaNode {
             return;
         }
         let commit = self.durable.decisions.get(&op).copied().unwrap_or(false);
-        ctx.send(from, Msg::Decision { op, commit });
+        // No chain on the recovery path: whatever round was chained at
+        // decision time has long since prepared or aborted on its own.
+        ctx.send(
+            from,
+            Msg::Decision {
+                op,
+                commit,
+                chain: None,
+            },
+        );
     }
 
     /// Periodic re-query for an in-doubt prepared transaction. Exactly one
@@ -320,7 +357,7 @@ impl ReplicaNode {
     pub(crate) fn apply_action(&mut self, ctx: &mut NodeCtx<'_>, action: &Action) {
         match action {
             Action::DoUpdate {
-                write,
+                writes,
                 new_version,
                 stale,
                 base,
@@ -336,12 +373,19 @@ impl ReplicaNode {
                     self.durable.stale = false;
                     self.durable.dversion = 0;
                 }
-                self.durable.object.apply(write);
+                // Each batched write is its own version and its own log
+                // entry, so incremental propagation and the 1SR checker see
+                // the same per-version history batching produced.
+                debug_assert!(!writes.is_empty(), "prepare refuses empty batches");
+                let first_version = new_version + 1 - writes.len() as u64;
+                for (i, write) in writes.iter().enumerate() {
+                    self.durable.object.apply(write);
+                    self.durable.log.push(LogEntry {
+                        version: first_version + i as u64,
+                        write: write.clone(),
+                    });
+                }
                 self.durable.version = *new_version;
-                self.durable.log.push(LogEntry {
-                    version: *new_version,
-                    write: write.clone(),
-                });
                 if !stale.is_empty() {
                     let targets =
                         NodeSet::from_iter(stale.iter().copied().filter(|&n| n != self.me));

@@ -61,17 +61,31 @@ pub enum WPhase {
     },
 }
 
-/// Volatile state of one coordinated write.
+/// One client write riding in a (possibly batched) write round.
+#[derive(Clone, Debug)]
+pub struct BatchEntry {
+    /// The client request id (echoed in the response).
+    pub client_id: u64,
+    /// The write payload.
+    pub write: PartialWrite,
+    /// Retry attempt (0 for the first try).
+    pub attempt: u32,
+}
+
+/// Volatile state of one coordinated write round.
 #[derive(Clone, Debug)]
 pub struct WriteCoordinator {
     /// The operation id.
     pub op: OpId,
-    /// The client request id (echoed in the response).
-    pub client_id: u64,
-    /// Retry attempt (0 for the first try).
-    pub attempt: u32,
-    /// The write payload.
-    pub write: PartialWrite,
+    /// The client writes committing in this round, in commit order: entry
+    /// `i` produces version `new_version - batch.len() + 1 + i`. A single
+    /// entry is the unbatched case; more is coordinator-side write
+    /// batching (DESIGN.md §10).
+    pub batch: Vec<BatchEntry>,
+    /// How many consecutive rounds (this one included) have run under one
+    /// permission phase; 0 means this round ran its own permission phase.
+    /// Bounded by [`pipeline_window`](crate::config::ProtocolConfig::pipeline_window).
+    pub chain_len: u32,
     /// Current phase.
     pub phase: WPhase,
     /// Granted (locked) responses by node.
@@ -101,7 +115,11 @@ impl WriteCoordinator {
 }
 
 impl ReplicaNode {
-    /// Starts coordinating a client write.
+    /// Starts coordinating a client write. With batching enabled, a write
+    /// arriving while another round is in flight queues instead of opening
+    /// a competing round against the same replicas; the queue drains into
+    /// the next round (one permission phase and one 2PC for the whole
+    /// batch) when the in-flight round finishes.
     pub(crate) fn start_write(
         &mut self,
         ctx: &mut NodeCtx<'_>,
@@ -109,6 +127,42 @@ impl ReplicaNode {
         write: PartialWrite,
         attempt: u32,
     ) {
+        let entry = BatchEntry {
+            client_id,
+            write,
+            attempt,
+        };
+        if self.config.max_write_batch > 1 && self.config.write_mode == WriteMode::StaleMarking {
+            // Batched mode: every write goes through the queue, so an
+            // arrival coalesces with an in-flight round's successors and
+            // with a requeued batch waiting out its backoff.
+            self.vol.write_queue.push_back(entry);
+            self.maybe_launch_queued(ctx);
+            return;
+        }
+        self.begin_write_round(ctx, vec![entry]);
+    }
+
+    /// Launches the next queued batch if no round is in flight and the
+    /// queue is not held under contention backoff.
+    pub(crate) fn maybe_launch_queued(&mut self, ctx: &mut NodeCtx<'_>) {
+        if self.vol.write_queue.is_empty()
+            || self.vol.write_queue_held
+            || !self.vol.writes.is_empty()
+        {
+            return;
+        }
+        let take = self
+            .config
+            .max_write_batch
+            .max(1)
+            .min(self.vol.write_queue.len());
+        let batch: Vec<BatchEntry> = self.vol.write_queue.drain(..take).collect();
+        self.begin_write_round(ctx, batch);
+    }
+
+    /// Opens a write round (permission phase) for `batch`.
+    fn begin_write_round(&mut self, ctx: &mut NodeCtx<'_>, batch: Vec<BatchEntry>) {
         let op = self.next_op();
         let view = self.durable.epoch_view();
         let seed = quorum_seed(self.me, op.seq);
@@ -124,20 +178,25 @@ impl ReplicaNode {
             WriteMode::WriteAllCurrent => Some(NodeSet::from_iter(self.all_nodes())),
         };
         let Some(quorum) = quorum else {
-            self.stats.writes_failed += 1;
-            ctx.output(ProtocolEvent::Failed {
-                id: client_id,
-                reason: FailReason::NoQuorum,
-            });
+            for entry in batch {
+                self.stats.writes_failed += 1;
+                ctx.output(ProtocolEvent::Failed {
+                    id: entry.client_id,
+                    reason: FailReason::NoQuorum,
+                });
+            }
+            // No round went in flight, so nothing will complete later to
+            // drain the queue; give queued writes their own (terminal)
+            // evaluation now. Bounded: every recursion drains the queue.
+            self.maybe_launch_queued(ctx);
             return;
         };
         let timeout = self.config.collect_timeout;
         let timer = ctx.set_timer(timeout, Timer::Collect { op });
         let wc = WriteCoordinator {
             op,
-            client_id,
-            attempt,
-            write,
+            batch,
+            chain_len: 0,
             phase: WPhase::Collect,
             granted: BTreeMap::new(),
             refused: NodeSet::new(),
@@ -332,21 +391,24 @@ impl ReplicaNode {
             return;
         };
         // lint:allow(panic): caller verified has_current_replica, so a max version exists
-        let new_version = c.next_version().expect("has_current_replica checked");
+        let base_version = c.next_version().expect("has_current_replica checked") - 1;
+        // A batch of k writes establishes k consecutive versions; the
+        // round's version is the last of them.
+        let new_version = base_version + wc.batch.len() as u64;
         let participants: Vec<NodeId> = c.good.iter().chain(c.stale.iter()).copied().collect();
         // The recorded good list: the intended holders of the new version.
         let mut good_list: Vec<NodeId> = c.good.iter().chain(optional.iter()).copied().collect();
         good_list.sort_unstable();
         let timeout = self.config.vote_timeout;
         let timer = ctx.set_timer(timeout, Timer::Votes { op });
-        let write = wc.write.clone();
+        let writes: Vec<PartialWrite> = wc.batch.iter().map(|e| e.write.clone()).collect();
         for &node in c.good.iter().chain(optional.iter()) {
             ctx.send(
                 node,
                 Msg::Prepare {
                     op,
                     action: Action::DoUpdate {
-                        write: write.clone(),
+                        writes: writes.clone(),
                         new_version,
                         stale: c.stale.clone(),
                         good: good_list.clone(),
@@ -412,17 +474,18 @@ impl ReplicaNode {
                 ctx.send(n, Msg::Release { op });
             }
             // lint:allow(panic): GOOD is nonempty on this path, so a max version exists
-            let new_version = c.next_version().expect("good nonempty");
+            let base = c.next_version().expect("good nonempty");
+            let new_version = base + wc.batch.len() as u64 - 1;
             let timeout = self.config.vote_timeout;
             let timer = ctx.set_timer(timeout, Timer::Votes { op });
-            let write = wc.write.clone();
+            let writes: Vec<PartialWrite> = wc.batch.iter().map(|e| e.write.clone()).collect();
             for &node in &c.good {
                 ctx.send(
                     node,
                     Msg::Prepare {
                         op,
                         action: Action::DoUpdate {
-                            write: write.clone(),
+                            writes: writes.clone(),
                             new_version,
                             stale: Vec::new(),
                             good: c.good.clone(),
@@ -513,7 +576,7 @@ impl ReplicaNode {
         let Some(wc) = self.vol.writes.get_mut(&op) else {
             return;
         };
-        let new_version = base_version + 1;
+        let new_version = base_version + wc.batch.len() as u64;
         let participants: Vec<NodeId> = c.good.iter().chain(targets.iter()).copied().collect();
         let participant_set = NodeSet::from_iter(participants.iter().copied());
         // Release granted members not participating.
@@ -529,7 +592,7 @@ impl ReplicaNode {
         }
         let timeout = self.config.vote_timeout;
         let timer = ctx.set_timer(timeout, Timer::Votes { op });
-        let write = wc.write.clone();
+        let writes: Vec<PartialWrite> = wc.batch.iter().map(|e| e.write.clone()).collect();
         let good_list: Vec<NodeId> = participants.clone();
         wc.phase = WPhase::Voting {
             participants,
@@ -546,7 +609,7 @@ impl ReplicaNode {
                 Msg::Prepare {
                     op,
                     action: Action::DoUpdate {
-                        write: write.clone(),
+                        writes: writes.clone(),
                         new_version,
                         stale: Vec::new(),
                         good: good_list.clone(),
@@ -562,7 +625,7 @@ impl ReplicaNode {
                 Msg::Prepare {
                     op,
                     action: Action::DoUpdate {
-                        write: write.clone(),
+                        writes: writes.clone(),
                         new_version,
                         stale: Vec::new(),
                         good: good_list.clone(),
@@ -671,18 +734,33 @@ impl ReplicaNode {
             stale,
             timer,
             ..
-        } = wc.phase
+        } = wc.phase.clone()
         else {
             return;
         };
         ctx.cancel_timer(timer);
         self.durable.decisions.insert(op, true);
+        // Pipelined 2PC: with more writes queued and chain budget left,
+        // allocate the next round now and ride its lock handoff on this
+        // decision. Participants move their exclusive lock from `op` to
+        // `next` instead of unlocking, and the next round's prepare follows
+        // the decision in the same effect batch — no fresh permission phase
+        // and no race against the decision's delivery (same-sender FIFO).
+        let chain = self.plan_chain(&wc);
+        let next = chain.as_ref().map(|(next_op, _)| *next_op);
         for p in participants
             .iter()
             .copied()
             .chain(committed_optional.iter())
         {
-            ctx.send(p, Msg::Decision { op, commit: true });
+            ctx.send(
+                p,
+                Msg::Decision {
+                    op,
+                    commit: true,
+                    chain: next,
+                },
+            );
         }
         // Release any granted nodes that were not participants (heavy polls
         // can grant more than the quorum used).
@@ -694,15 +772,144 @@ impl ReplicaNode {
         {
             ctx.send(n, Msg::Release { op });
         }
-        self.stats.writes_ok += 1;
-        self.stats.replicas_touched_sum += (participants.len() + committed_optional.len()) as u64;
-        self.stats.marked_stale_sum += stale.len() as u64;
-        ctx.output(ProtocolEvent::WriteOk {
-            id: wc.client_id,
-            version: new_version,
-            replicas_touched: participants.len() + committed_optional.len(),
-            marked_stale: stale.len(),
-        });
+        let touched = participants.len() + committed_optional.len();
+        self.stats.writes_ok += wc.batch.len() as u64;
+        if wc.batch.len() > 1 {
+            self.stats.batched_writes += wc.batch.len() as u64;
+        }
+        self.stats.replicas_touched_sum += (touched * wc.batch.len()) as u64;
+        self.stats.marked_stale_sum += (stale.len() * wc.batch.len()) as u64;
+        // One ack per batched client write, at its own version.
+        let first_version = new_version + 1 - wc.batch.len() as u64;
+        for (i, entry) in wc.batch.iter().enumerate() {
+            ctx.output(ProtocolEvent::WriteOk {
+                id: entry.client_id,
+                version: first_version + i as u64,
+                replicas_touched: touched,
+                marked_stale: stale.len(),
+            });
+        }
+        match chain {
+            Some((next_op, batch)) => self.begin_chained_round(
+                ctx,
+                next_op,
+                batch,
+                &participants,
+                committed_optional,
+                new_version,
+                stale,
+                wc.chain_len + 1,
+            ),
+            None => self.maybe_launch_queued(ctx),
+        }
+    }
+
+    /// Decides whether the committing round `wc` chains a successor, and if
+    /// so allocates its op id and drains its batch from the queue.
+    fn plan_chain(&mut self, wc: &WriteCoordinator) -> Option<(OpId, Vec<BatchEntry>)> {
+        if self.config.write_mode != WriteMode::StaleMarking
+            || self.config.pipeline_window <= 1
+            || wc.chain_len + 1 >= self.config.pipeline_window
+            || self.vol.write_queue.is_empty()
+        {
+            return None;
+        }
+        let take = self
+            .config
+            .max_write_batch
+            .max(1)
+            .min(self.vol.write_queue.len());
+        let batch: Vec<BatchEntry> = self.vol.write_queue.drain(..take).collect();
+        Some((self.next_op(), batch))
+    }
+
+    /// Opens round k+1 directly in the voting phase: its participants are
+    /// round k's (they committed, so they hold handed-off locks and are at
+    /// exactly `base_version`), and its prepares are already behind round
+    /// k's decisions in the network. No permission phase runs. If a handoff
+    /// was lost (lease expiry, crash), the participant's duplicate-prepare
+    /// and version checks make it vote no and the round degrades to a
+    /// normal abort-and-retry.
+    #[allow(clippy::too_many_arguments)]
+    fn begin_chained_round(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        op: OpId,
+        batch: Vec<BatchEntry>,
+        participants: &[NodeId],
+        committed_optional: NodeSet,
+        base_version: u64,
+        stale: Vec<NodeId>,
+        chain_len: u32,
+    ) {
+        self.stats.chained_rounds += 1;
+        let new_version = base_version + batch.len() as u64;
+        let stale_set = NodeSet::from_iter(stale.iter().copied());
+        let good_required: Vec<NodeId> = participants
+            .iter()
+            .copied()
+            .filter(|n| !stale_set.contains(*n))
+            .collect();
+        let optional: Vec<NodeId> = committed_optional.iter().collect();
+        let mut good_list: Vec<NodeId> = good_required
+            .iter()
+            .chain(optional.iter())
+            .copied()
+            .collect();
+        good_list.sort_unstable();
+        let writes: Vec<PartialWrite> = batch.iter().map(|e| e.write.clone()).collect();
+        let timer = ctx.set_timer(self.config.vote_timeout, Timer::Votes { op });
+        for &node in good_required.iter().chain(optional.iter()) {
+            ctx.send(
+                node,
+                Msg::Prepare {
+                    op,
+                    action: Action::DoUpdate {
+                        writes: writes.clone(),
+                        new_version,
+                        stale: stale.clone(),
+                        good: good_list.clone(),
+                        base: None,
+                    },
+                    extra: optional.contains(&node),
+                },
+            );
+        }
+        for &node in &stale {
+            ctx.send(
+                node,
+                Msg::Prepare {
+                    op,
+                    action: Action::MarkStale {
+                        desired_version: new_version,
+                    },
+                    extra: false,
+                },
+            );
+        }
+        self.vol.writes.insert(
+            op,
+            WriteCoordinator {
+                op,
+                batch,
+                chain_len,
+                phase: WPhase::Voting {
+                    participants: participants.to_vec(),
+                    yes: NodeSet::new(),
+                    optional,
+                    optional_yes: NodeSet::new(),
+                    new_version,
+                    stale,
+                    timer,
+                },
+                granted: BTreeMap::new(),
+                refused: NodeSet::new(),
+                failed: NodeSet::new(),
+                polled: NodeSet::from_iter(participants.iter().copied()),
+                heavy: false,
+                collect_timer: None,
+            },
+        );
     }
 
     /// Vote timeout for a write op.
@@ -725,7 +932,14 @@ impl ReplicaNode {
         self.durable.decisions.insert(op, false);
         if let WPhase::Voting { participants, .. } = &wc.phase {
             for &p in participants {
-                ctx.send(p, Msg::Decision { op, commit: false });
+                ctx.send(
+                    p,
+                    Msg::Decision {
+                        op,
+                        commit: false,
+                        chain: None,
+                    },
+                );
             }
             let pset = NodeSet::from_iter(participants.iter().copied());
             for &n in wc.granted.keys().filter(|n| !pset.contains(**n)) {
@@ -764,24 +978,71 @@ impl ReplicaNode {
         reason: FailReason,
     ) {
         let retryable = matches!(reason, FailReason::Contention | FailReason::CommitFailed);
-        if retryable && wc.attempt < self.config.max_retries {
-            let delay = self.backoff(ctx, wc.attempt + 1);
-            ctx.set_timer(
-                delay,
-                Timer::RetryClient {
-                    attempt: wc.attempt + 1,
-                    request: ClientRequest::Write {
-                        id: wc.client_id,
-                        write: wc.write,
-                    },
-                },
-            );
+        if retryable
+            && self.config.max_write_batch > 1
+            && self.config.write_mode == WriteMode::StaleMarking
+        {
+            // Requeue the refused batch whole: disbanding it into
+            // per-entry retry timers would relaunch that many competing
+            // single-write rounds against the same replicas. One kick
+            // timer (shortest surviving backoff) holds the queue, then
+            // relaunches the batch — plus anything queued meanwhile — as
+            // one round.
+            let mut min_attempt = u32::MAX;
+            for entry in wc.batch.into_iter().rev() {
+                if entry.attempt < self.config.max_retries {
+                    min_attempt = min_attempt.min(entry.attempt + 1);
+                    self.vol.write_queue.push_front(BatchEntry {
+                        attempt: entry.attempt + 1,
+                        ..entry
+                    });
+                } else {
+                    self.stats.writes_failed += 1;
+                    ctx.output(ProtocolEvent::Failed {
+                        id: entry.client_id,
+                        reason,
+                    });
+                }
+            }
+            if min_attempt != u32::MAX {
+                let delay = self.backoff(ctx, min_attempt);
+                self.vol.write_queue_held = true;
+                ctx.set_timer(delay, Timer::WriteQueueKick);
+            } else {
+                self.maybe_launch_queued(ctx);
+            }
             return;
         }
-        self.stats.writes_failed += 1;
-        ctx.output(ProtocolEvent::Failed {
-            id: wc.client_id,
-            reason,
-        });
+        for entry in wc.batch {
+            if retryable && entry.attempt < self.config.max_retries {
+                let delay = self.backoff(ctx, entry.attempt + 1);
+                ctx.set_timer(
+                    delay,
+                    Timer::RetryClient {
+                        attempt: entry.attempt + 1,
+                        request: ClientRequest::Write {
+                            id: entry.client_id,
+                            write: entry.write,
+                        },
+                    },
+                );
+            } else {
+                self.stats.writes_failed += 1;
+                ctx.output(ProtocolEvent::Failed {
+                    id: entry.client_id,
+                    reason,
+                });
+            }
+        }
+        // The failed round is gone; if writes queued behind it, give them
+        // their own round now rather than stranding them.
+        self.maybe_launch_queued(ctx);
+    }
+
+    /// The contention backoff for a requeued batch expired: release the
+    /// queue and relaunch.
+    pub(crate) fn on_write_queue_kick(&mut self, ctx: &mut NodeCtx<'_>) {
+        self.vol.write_queue_held = false;
+        self.maybe_launch_queued(ctx);
     }
 }

@@ -23,21 +23,34 @@ fn main() {
         ("majority", Arc::new(MajorityCoterie::new()), 5),
     ];
 
+    // Each cluster soaks twice: the plain write path, then with all three
+    // PR-6 write-path optimisations (coordinator batching, pipelined 2PC,
+    // group commit) enabled — the optimised path must survive the same
+    // fault schedule.
+    let variants: [(&str, usize, u32, usize); 2] = [("", 1, 1, 1), ("+batch+pipeline+gc", 4, 3, 8)];
+
     let mut failed = false;
+    let mut schedules = 0u64;
     for (name, rule, n_nodes) in setups {
-        let cfg = NemesisConfig {
-            n_nodes,
-            steps,
-            ..Default::default()
-        };
-        let report = soak(rule, base_seed, runs, &cfg);
-        print_report(name, n_nodes, runs, &report);
-        if !report.clean() {
-            failed = true;
-            for run in &report.dirty {
-                eprintln!("== seed {} ==", run.seed);
-                for v in &run.violations {
-                    eprintln!("  {v}");
+        for (suffix, write_batch, pipeline_window, group_commit) in variants {
+            let cfg = NemesisConfig {
+                n_nodes,
+                steps,
+                write_batch,
+                pipeline_window,
+                group_commit,
+                ..Default::default()
+            };
+            let report = soak(rule.clone(), base_seed, runs, &cfg);
+            print_report(&format!("{name}{suffix}"), n_nodes, runs, &report);
+            schedules += runs;
+            if !report.clean() {
+                failed = true;
+                for run in &report.dirty {
+                    eprintln!("== seed {} ==", run.seed);
+                    for v in &run.violations {
+                        eprintln!("  {v}");
+                    }
                 }
             }
         }
@@ -46,7 +59,7 @@ fn main() {
         eprintln!("nemesis: VIOLATIONS FOUND");
         std::process::exit(1);
     }
-    println!("nemesis: all {} schedules clean", runs * 2);
+    println!("nemesis: all {schedules} schedules clean");
 }
 
 fn print_report(name: &str, n_nodes: usize, runs: u64, r: &NemesisReport) {

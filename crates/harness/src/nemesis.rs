@@ -62,6 +62,14 @@ pub struct NemesisConfig {
     /// Driver time simulated after the schedule to let the cluster
     /// converge before the final checks.
     pub drain: SimDuration,
+    /// Coordinator-side write-batching cap (DESIGN.md §10); 1 disables.
+    pub write_batch: usize,
+    /// Pipelined-2PC window (DESIGN.md §10); 1 disables.
+    pub pipeline_window: u32,
+    /// Group-commit batch cap (DESIGN.md §10); 1 disables. When enabled,
+    /// the schedule models the host's flush deadline as a frequent
+    /// explicit-flush event.
+    pub group_commit: usize,
 }
 
 impl Default for NemesisConfig {
@@ -76,6 +84,9 @@ impl Default for NemesisConfig {
             storage_fault_per_mille: 10,
             partition_per_mille: 6,
             drain: SimDuration::from_secs(120),
+            write_batch: 1,
+            pipeline_window: 1,
+            group_commit: 1,
         }
     }
 }
@@ -150,6 +161,9 @@ pub fn run_nemesis(rule: Arc<dyn CoterieRule>, seed: u64, cfg: &NemesisConfig) -
     assert!(n >= 3, "nemesis needs at least 3 nodes");
     let protocol = ProtocolConfig::new(rule, n)
         .pages(cfg.n_pages)
+        .write_batch(cfg.write_batch)
+        .pipeline(cfg.pipeline_window)
+        .group_commit(cfg.group_commit, SimDuration::from_millis(2))
         .rng_seed(seed);
     let mut driver = StepDriver::new(n, protocol);
     // The schedule RNG is independent of the engines' (different stream).
@@ -363,8 +377,17 @@ fn inject_op(
 }
 
 /// One unit of ordinary progress: deliver a random in-flight message,
-/// else fire a random armed timer, else let time pass.
+/// else fire a random armed timer, else let time pass. When group commit
+/// is coalescing deltas somewhere, the host's flush deadline — the
+/// shortest clock in a real system — is modelled as a frequent flush
+/// event. (The RNG is only consulted when something is buffered, so
+/// group-commit-disabled schedules are byte-identical to before.)
 fn progress(driver: &mut StepDriver, rng: &mut Rng64) {
+    let buffering = (0..driver.cluster_size() as u32).any(|i| driver.gc_buffered(NodeId(i)) > 0);
+    if buffering && rng.below(4) == 0 {
+        driver.flush_group_commit();
+        return;
+    }
     let msgs = driver.pending_messages().len();
     if msgs > 0 {
         driver.deliver(rng.below(msgs as u64) as usize);

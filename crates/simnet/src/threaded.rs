@@ -16,7 +16,7 @@
 use crate::app::{Application, Ctx, Effect, TimerId};
 use crate::time::{SimDuration, SimTime};
 use coterie_quorum::NodeId;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 use parking_lot::{Condvar, Mutex};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -202,7 +202,33 @@ where
                     |app, ctx| app.on_start(ctx),
                     &mut app,
                 );
-                while let Ok(input) = rx.recv() {
+                loop {
+                    let input = match rx.try_recv() {
+                        Ok(input) => input,
+                        Err(TryRecvError::Disconnected) => break,
+                        Err(TryRecvError::Empty) => {
+                            // Inbox drained and about to block: give the
+                            // app its idle hook (group-commit hosts flush
+                            // here instead of waiting out the deadline).
+                            if shared.up[me.index()].load(Ordering::Acquire) {
+                                run_callback(
+                                    &shared,
+                                    &out_tx,
+                                    me,
+                                    boot,
+                                    &mut rng,
+                                    &mut next_timer_id,
+                                    &mut effects,
+                                    |app, ctx| app.on_idle(ctx),
+                                    &mut app,
+                                );
+                            }
+                            match rx.recv() {
+                                Ok(input) => input,
+                                Err(_) => break,
+                            }
+                        }
+                    };
                     let up = shared.up[me.index()].load(Ordering::Acquire);
                     match input {
                         Input::Stop => break,

@@ -36,6 +36,11 @@ echo "==> example smoke runs"
 cargo run --release --example quickstart
 cargo run --release --example failover
 
+echo "==> throughput smoke (closed-loop load driver, bounded)"
+# Both coterie rules with batching+pipelining+group-commit enabled on the
+# sim host; asserts committed progress and zero invariant violations.
+cargo run --release -p coterie-bench --bin bench_throughput -- --smoke
+
 echo "==> nemesis smoke (bounded storage-fault soak)"
 # Fixed seeds, short schedules: 6 grid + 6 majority runs of crashes,
 # partitions, torn writes, and journal corruption; exits non-zero on any
