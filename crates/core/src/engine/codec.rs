@@ -34,6 +34,7 @@ pub fn crc32(bytes: &[u8]) -> u32 {
     let mut crc: u32 = 0xFFFF_FFFF;
     for &b in bytes {
         let idx = ((crc ^ u32::from(b)) & 0xFF) as usize;
+        // lint:allow(arith): idx is masked to 0..=255, always in bounds
         crc = (crc >> 8) ^ CRC32_TABLE[idx];
     }
     !crc
@@ -43,9 +44,9 @@ static CRC32_TABLE: [u32; 256] = crc32_table();
 
 const fn crc32_table() -> [u32; 256] {
     let mut table = [0u32; 256];
-    let mut i = 0;
+    let mut i: u32 = 0;
     while i < 256 {
-        let mut crc = i as u32;
+        let mut crc = i;
         let mut bit = 0;
         while bit < 8 {
             crc = if crc & 1 != 0 {
@@ -55,7 +56,8 @@ const fn crc32_table() -> [u32; 256] {
             };
             bit += 1;
         }
-        table[i] = crc;
+        // lint:allow(arith): i is bounded by the loop condition (< 256)
+        table[i as usize] = crc;
         i += 1;
     }
     table
@@ -75,7 +77,7 @@ pub fn encode_delta(delta: &DurableDelta) -> Vec<u8> {
             put_nodes(&mut out, elist);
         }
     }
-    put_u32(&mut out, delta.pages.len() as u32);
+    put_len(&mut out, delta.pages.len());
     for (page, contents) in &delta.pages {
         put_u16(&mut out, *page);
         put_bytes(&mut out, contents);
@@ -101,7 +103,7 @@ pub fn encode_delta(delta: &DurableDelta) -> Vec<u8> {
             }
         }
     }
-    put_u32(&mut out, delta.decisions.len() as u32);
+    put_len(&mut out, delta.decisions.len());
     for (op, commit) in &delta.decisions {
         put_op(&mut out, *op);
         out.push(u8::from(*commit));
@@ -188,6 +190,16 @@ fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
+/// Writes a collection length as a `u32` count prefix. Well-formed deltas
+/// never approach `MAX_COUNT`, let alone `u32::MAX`; if an impossible
+/// length ever arrived here, saturating makes the *decoder* reject the
+/// record (the count exceeds `MAX_COUNT`) instead of silently truncating
+/// the count and mis-framing everything after it.
+fn put_len(out: &mut Vec<u8>, n: usize) {
+    debug_assert!(n <= MAX_COUNT as usize, "collection exceeds MAX_COUNT");
+    put_u32(out, u32::try_from(n).unwrap_or(u32::MAX));
+}
+
 fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
@@ -213,12 +225,12 @@ fn put_opt_bool(out: &mut Vec<u8>, v: Option<bool>) {
 }
 
 fn put_bytes(out: &mut Vec<u8>, bytes: &Bytes) {
-    put_u32(out, bytes.len() as u32);
+    put_len(out, bytes.len());
     out.extend_from_slice(bytes);
 }
 
 fn put_nodes(out: &mut Vec<u8>, nodes: &[NodeId]) {
-    put_u32(out, nodes.len() as u32);
+    put_len(out, nodes.len());
     for n in nodes {
         put_u32(out, n.0);
     }
@@ -230,7 +242,7 @@ fn put_op(out: &mut Vec<u8>, op: OpId) {
 }
 
 fn put_write(out: &mut Vec<u8>, write: &PartialWrite) {
-    put_u32(out, write.pages.len() as u32);
+    put_len(out, write.pages.len());
     for (page, contents) in &write.pages {
         put_u16(out, *page);
         put_bytes(out, contents);
@@ -239,7 +251,7 @@ fn put_write(out: &mut Vec<u8>, write: &PartialWrite) {
 
 fn put_log(out: &mut Vec<u8>, log: &WriteLog) {
     put_u64(out, log.cap() as u64);
-    put_u32(out, log.len() as u32);
+    put_len(out, log.len());
     for entry in log.iter() {
         put_u64(out, entry.version);
         put_write(out, &entry.write);
@@ -256,7 +268,7 @@ fn put_action(out: &mut Vec<u8>, action: &Action) {
             base,
         } => {
             out.push(0);
-            put_u32(out, writes.len() as u32);
+            put_len(out, writes.len());
             for write in writes {
                 put_write(out, write);
             }
@@ -267,7 +279,7 @@ fn put_action(out: &mut Vec<u8>, action: &Action) {
                 None => out.push(0),
                 Some((pages, version)) => {
                     out.push(1);
-                    put_u32(out, pages.len() as u32);
+                    put_len(out, pages.len());
                     for p in pages {
                         put_bytes(out, p);
                     }
@@ -320,10 +332,7 @@ impl<'a> Reader<'a> {
 
     fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], DecodeError> {
         let end = self.pos.checked_add(n).ok_or(self.err(what))?;
-        if end > self.buf.len() {
-            return Err(self.err(what));
-        }
-        let slice = &self.buf[self.pos..end];
+        let slice = self.buf.get(self.pos..end).ok_or(self.err(what))?;
         self.pos = end;
         Ok(slice)
     }

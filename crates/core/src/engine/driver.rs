@@ -459,10 +459,11 @@ impl StepDriver {
                     msg,
                 }),
                 Effect::Output(ev) => self.outputs.push((self.now, node, ev)),
-                // buffer_step defers only Send/Output; anything else here
-                // would be a bug, but dropping it is safe (timers and
-                // persists are applied immediately, never deferred).
-                _ => {}
+                // buffer_step defers only Send/Output; timers and persists
+                // are applied immediately, never deferred, so reaching one
+                // of these arms would be a buffer_step bug — dropping the
+                // effect is still safe.
+                Effect::SetTimer { .. } | Effect::CancelTimer(_) | Effect::Persist(_) => {}
             }
         }
         true

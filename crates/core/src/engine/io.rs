@@ -98,7 +98,10 @@ impl Effect {
     pub fn send_to(&self) -> Option<NodeId> {
         match self {
             Effect::Send { to, .. } => Some(*to),
-            _ => None,
+            Effect::SetTimer { .. }
+            | Effect::CancelTimer(_)
+            | Effect::Persist(_)
+            | Effect::Output(_) => None,
         }
     }
 

@@ -107,7 +107,7 @@ impl DurableDelta {
                 .map(|(op, commit)| (*op, *commit))
                 .collect();
             debug_assert_eq!(
-                added.len() + old.decisions.len(),
+                added.len().saturating_add(old.decisions.len()),
                 new.decisions.len(),
                 "decision map must be append-only"
             );
@@ -368,6 +368,17 @@ impl Default for FramedJournal {
     }
 }
 
+/// Little-endian `len` prefix for one record. Payloads are bounded far
+/// below `u32::MAX` (encoded collections are `MAX_COUNT`-capped), so the
+/// saturation is unreachable; if it ever fired, the record would fail its
+/// own length check on replay rather than silently truncate.
+fn len_prefix(payload: &[u8]) -> [u8; 4] {
+    debug_assert!(u32::try_from(payload.len()).is_ok(), "oversized payload");
+    u32::try_from(payload.len())
+        .unwrap_or(u32::MAX)
+        .to_le_bytes()
+}
+
 impl FramedJournal {
     /// A fresh journal holding only the header (count 0).
     pub fn new() -> Self {
@@ -414,8 +425,7 @@ impl FramedJournal {
     /// Appends one record and commits it by bumping the count header.
     pub fn append_delta(&mut self, delta: &DurableDelta) {
         let payload = super::codec::encode_delta(delta);
-        self.buf
-            .extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        self.buf.extend_from_slice(&len_prefix(&payload));
         self.buf
             .extend_from_slice(&super::codec::crc32(&payload).to_le_bytes());
         self.buf.extend_from_slice(&payload);
@@ -436,8 +446,7 @@ impl FramedJournal {
         }
         for delta in deltas {
             let payload = super::codec::encode_delta(delta);
-            self.buf
-                .extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            self.buf.extend_from_slice(&len_prefix(&payload));
             self.buf
                 .extend_from_slice(&super::codec::crc32(&payload).to_le_bytes());
             self.buf.extend_from_slice(&payload);
@@ -457,12 +466,13 @@ impl FramedJournal {
         let mut record = Vec::new();
         for delta in deltas {
             let payload = super::codec::encode_delta(delta);
-            record.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            record.extend_from_slice(&len_prefix(&payload));
             record.extend_from_slice(&super::codec::crc32(&payload).to_le_bytes());
             record.extend_from_slice(&payload);
         }
         let keep = keep.min(record.len().saturating_sub(1));
-        self.buf.extend_from_slice(&record[..keep]);
+        self.buf
+            .extend_from_slice(record.get(..keep).unwrap_or(&record));
         self.appended_total += deltas.len() as u64;
     }
 
@@ -473,12 +483,13 @@ impl FramedJournal {
     /// is the same recovery anyway).
     pub fn append_torn(&mut self, delta: &DurableDelta, keep: usize) {
         let payload = super::codec::encode_delta(delta);
-        let mut record = Vec::with_capacity(8 + payload.len());
-        record.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        let mut record = Vec::with_capacity(payload.len().saturating_add(8));
+        record.extend_from_slice(&len_prefix(&payload));
         record.extend_from_slice(&super::codec::crc32(&payload).to_le_bytes());
         record.extend_from_slice(&payload);
         let keep = keep.min(record.len().saturating_sub(1));
-        self.buf.extend_from_slice(&record[..keep]);
+        self.buf
+            .extend_from_slice(record.get(..keep).unwrap_or(&record));
         self.appended_total += 1;
     }
 
@@ -509,16 +520,24 @@ impl FramedJournal {
         };
         let mut pos = JOURNAL_HEADER_LEN;
         for _ in 0..count {
-            let Some(header) = self.buf.get(pos..pos + 8) else {
+            // checked_add: a corrupted length prefix near usize::MAX must
+            // not wrap `pos` back into the committed prefix.
+            let Some(body) = pos.checked_add(8) else {
+                return 0;
+            };
+            let Some(header) = self.buf.get(pos..body) else {
                 return 0;
             };
             let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]) as usize;
-            if self.buf.len() < pos + 8 + len {
+            let Some(next) = body.checked_add(len) else {
+                return 0;
+            };
+            if self.buf.len() < next {
                 return 0;
             }
-            pos += 8 + len;
+            pos = next;
         }
-        let dropped = self.buf.len() - pos;
+        let dropped = self.buf.len().saturating_sub(pos);
         self.buf.truncate(pos);
         self.count = count;
         dropped
@@ -533,7 +552,7 @@ impl FramedJournal {
         if let Some(delta) = DurableDelta::diff(&Durable::pristine(config), durable) {
             fresh.append_delta(&delta);
         }
-        fresh.appended_total = self.appended_total + fresh.count;
+        fresh.appended_total = self.appended_total.saturating_add(fresh.count);
         *self = fresh;
     }
 
@@ -562,12 +581,21 @@ impl FramedJournal {
         };
         let mut pos = JOURNAL_HEADER_LEN;
         for index in 0..count {
-            let Some(header) = buf.get(pos..pos + 8) else {
+            // checked_add throughout: on 32-bit hosts a corrupted length
+            // prefix could wrap `pos + 8 + len` back inside the buffer and
+            // mis-parse instead of quarantining.
+            let Some(body) = pos.checked_add(8) else {
+                return quarantined(durable, index, QuarantineReason::RecordTruncated { index });
+            };
+            let Some(header) = buf.get(pos..body) else {
                 return quarantined(durable, index, QuarantineReason::RecordTruncated { index });
             };
             let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]) as usize;
             let crc = u32::from_le_bytes([header[4], header[5], header[6], header[7]]);
-            let Some(payload) = buf.get(pos + 8..pos + 8 + len) else {
+            let Some(end) = body.checked_add(len) else {
+                return quarantined(durable, index, QuarantineReason::RecordTruncated { index });
+            };
+            let Some(payload) = buf.get(body..end) else {
                 return quarantined(durable, index, QuarantineReason::RecordTruncated { index });
             };
             if super::codec::crc32(payload) != crc {
@@ -586,9 +614,9 @@ impl FramedJournal {
                     );
                 }
             }
-            pos += 8 + len;
+            pos = end;
         }
-        let dropped = buf.len() - pos;
+        let dropped = buf.len().saturating_sub(pos);
         FramedReplay {
             durable,
             records_applied: count,

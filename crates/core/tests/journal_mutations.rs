@@ -89,5 +89,43 @@ proptest! {
                 );
             }
         }
+
+        // Length-field overflow: every record's len prefix rewritten to
+        // values chosen to wrap `pos + 8 + len` (catastrophically on
+        // 32-bit hosts, where `len as usize` keeps all 32 bits) or to run
+        // just past the end of the buffer. Replay must quarantine, never
+        // panic and never wrap back into the committed prefix and go
+        // Clean; tail truncation on the same bytes must hold its
+        // leave-it-alone contract.
+        let mut pos = 16usize; // one past the journal header
+        while pos + 8 <= bytes.len() {
+            let len =
+                u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+            for evil in [
+                u32::MAX,
+                u32::MAX - 7,
+                1 << 31,
+                (bytes.len() as u32).saturating_add(1),
+            ] {
+                let mut damaged = bytes.clone();
+                damaged[pos..pos + 4].copy_from_slice(&evil.to_le_bytes());
+                let replay =
+                    FramedJournal::from_bytes(damaged.clone()).replay_checked(&config);
+                prop_assert!(
+                    !matches!(replay.verdict, ReplayVerdict::Clean),
+                    "len prefix at {pos} patched to {evil:#x} replayed Clean"
+                );
+                // The committed prefix no longer parses, so truncate_tail
+                // must refuse to drop anything (quarantine recovery owns
+                // this journal now).
+                let mut journal = FramedJournal::from_bytes(damaged);
+                prop_assert_eq!(
+                    journal.truncate_tail(),
+                    0,
+                    "truncate_tail dropped bytes from an unparseable prefix"
+                );
+            }
+            pos += 8 + len;
+        }
     }
 }

@@ -1,0 +1,41 @@
+//! Pinned reproductions of known-latent nemesis violations.
+//!
+//! ROADMAP open item 2: an extended-seed sweep finds dirty runs that were
+//! already present at the seed commit — majority seeds 62 and 98 diverge
+//! on the epoch *member list* while agreeing on the epoch number, after a
+//! node recovers mid-epoch-check (the PR-4 rejoin guards don't cover the
+//! recovery/epoch-install interaction). This test pins the minimal repro
+//! (`cargo run -p coterie-harness --bin nemesis -- 1 62 3000`, majority
+//! cell) so the bug has an executable spec.
+//!
+//! `#[ignore]`d because it asserts the *presence* of the bug: it fails
+//! the moment the violation is fixed. Whoever fixes ROADMAP item 2 should
+//! run it (`cargo test -p coterie-harness -- --ignored epoch_list`),
+//! watch it fail, then invert the assertion into a permanent clean-run
+//! regression test.
+
+use std::sync::Arc;
+
+use coterie_harness::nemesis::{run_nemesis, NemesisConfig};
+use coterie_quorum::MajorityCoterie;
+
+#[test]
+#[ignore = "pins a known-latent bug (ROADMAP item 2); fails once the bug is fixed"]
+fn epoch_list_divergence_majority_seed_62_still_reproduces() {
+    let cfg = NemesisConfig {
+        n_nodes: 5,
+        steps: 3_000,
+        ..NemesisConfig::default()
+    };
+    let run = run_nemesis(Arc::new(MajorityCoterie::new()), 62, &cfg);
+    assert!(
+        !run.clean(),
+        "majority seed 62 ran clean: ROADMAP item 2 appears fixed — \
+         invert this test into a clean-run regression gate"
+    );
+    assert!(
+        run.violations.iter().any(|v| v.contains("epoch safety")),
+        "seed 62 violated something other than epoch safety: {:?}",
+        run.violations
+    );
+}

@@ -1,39 +1,98 @@
-//! The allow budget: a checked-in ceiling on `lint:allow` directives.
+//! The ratcheted allow baseline: a checked-in, per-rule-family ceiling on
+//! `lint:allow` directives.
 //!
 //! Every *used* `lint:allow(rule)` in policed code counts against the
-//! per-rule ceiling in `crates/lint/allow-budget.txt`. Exceeding the
-//! ceiling is a finding — so new suppressions force an explicit,
-//! reviewable budget bump, and the numbers are expected to only shrink
-//! over time (ratchet discipline).
+//! per-rule number in `crates/lint/baseline.json`. The ratchet is
+//! **exact and shrink-only**: exceeding the baseline is a finding (new
+//! suppressions force an explicit, reviewable bump), and *undershooting*
+//! it is also a finding (when sites are fixed, the recorded baseline must
+//! shrink with them — `--write-baseline` regenerates it). The baseline can
+//! therefore never silently drift upward and never hide headroom.
+//!
+//! The file is JSON so `--format json` consumers can diff a scan against
+//! it, but it is parsed by a ~40-line scanner (std-only policy: no serde).
 
 use crate::diag::Finding;
 
-/// Parses the budget file: `rule <space> max` lines, `#` comments.
-pub fn parse_budget(text: &str) -> Vec<(String, u32)> {
+/// Parses `baseline.json`: returns `(rule, allows)` pairs from the
+/// `"rules"` object. The scanner only relies on the shape
+/// `"rules": { "<name>": { "allows": <n> }, ... }` and ignores everything
+/// else (comments keys, whitespace, trailing commas).
+pub fn parse_baseline(text: &str) -> Vec<(String, u32)> {
+    let Some(start) = text.find("\"rules\"") else {
+        return Vec::new();
+    };
+    let rest = &text[start + "\"rules\"".len()..];
+    let bytes = rest.as_bytes();
     let mut out = Vec::new();
-    for line in text.lines() {
-        let line = line.split('#').next().unwrap_or("").trim();
-        if line.is_empty() {
-            continue;
-        }
-        let mut parts = line.split_whitespace();
-        let (Some(rule), Some(max)) = (parts.next(), parts.next()) else {
-            continue;
-        };
-        if let Ok(max) = max.parse::<u32>() {
-            out.push((rule.to_string(), max));
+    let mut depth = 0i64;
+    let mut started = false;
+    let mut strings: Vec<String> = Vec::new(); // last two strings seen
+    let mut i = 0usize;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'{' => {
+                depth += 1;
+                started = true;
+                i += 1;
+            }
+            b'}' => {
+                depth -= 1;
+                i += 1;
+                if started && depth <= 0 {
+                    break;
+                }
+            }
+            b'"' => {
+                let s = i + 1;
+                let mut e = s;
+                while e < bytes.len() && bytes[e] != b'"' {
+                    e += 1;
+                }
+                strings.push(rest[s..e].to_string());
+                if strings.len() > 2 {
+                    strings.remove(0);
+                }
+                i = e + 1;
+            }
+            b'0'..=b'9' => {
+                let s = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                if let [name, key] = strings.as_slice() {
+                    if key == "allows" {
+                        if let Ok(n) = rest[s..i].parse::<u32>() {
+                            out.push((name.clone(), n));
+                        }
+                    }
+                }
+            }
+            _ => i += 1,
         }
     }
     out
 }
 
-/// Checks used-allow totals against the budget; over-budget rules become
-/// findings anchored at the budget file itself.
-pub fn check_budget(
-    budget: &[(String, u32)],
-    used: &[(String, u32)],
-    budget_file: &str,
-) -> Vec<Finding> {
+/// Serializes `(rule, allows)` pairs back into the baseline file format
+/// (sorted by rule so regeneration is deterministic).
+pub fn render_baseline(rules: &[(String, u32)]) -> String {
+    let mut rules: Vec<_> = rules.to_vec();
+    rules.sort();
+    let mut out = String::from(
+        "{\n  \"comment\": \"shrink-only lint:allow ceilings per rule family; \
+         regenerate with `coterie-lint --write-baseline` after fixing sites\",\n  \"rules\": {\n",
+    );
+    for (i, (rule, n)) in rules.iter().enumerate() {
+        let sep = if i + 1 == rules.len() { "" } else { "," };
+        out.push_str(&format!("    \"{rule}\": {{ \"allows\": {n} }}{sep}\n"));
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+/// Tallies used allows per rule (input pairs are `(rule, line)`).
+pub fn tally(used: &[(String, u32)]) -> Vec<(String, u32)> {
     let mut totals: Vec<(String, u32)> = Vec::new();
     for (rule, _line) in used {
         match totals.iter_mut().find(|(r, _)| r == rule) {
@@ -42,64 +101,145 @@ pub fn check_budget(
         }
     }
     totals.sort();
+    totals
+}
+
+/// Checks used-allow totals against the baseline. Returns the merged
+/// `(rule, budgeted, used)` rows (for the JSON report) and the ratchet
+/// findings, anchored at the baseline file itself: a finding when a rule
+/// exceeds its budget *and* when it undershoots it (shrink-only ratchet).
+pub fn check_baseline(
+    baseline: &[(String, u32)],
+    used: &[(String, u32)],
+    baseline_file: &str,
+) -> (Vec<(String, u32, u32)>, Vec<Finding>) {
+    let totals = tally(used);
+    let mut rules: Vec<String> = baseline
+        .iter()
+        .map(|(r, _)| r.clone())
+        .chain(totals.iter().map(|(r, _)| r.clone()))
+        .collect();
+    rules.sort();
+    rules.dedup();
+
+    let mut rows = Vec::new();
     let mut findings = Vec::new();
-    for (rule, n) in &totals {
-        let max = budget
+    for rule in rules {
+        let max = baseline
             .iter()
-            .find(|(r, _)| r == rule)
+            .find(|(r, _)| *r == rule)
             .map(|(_, m)| *m)
             .unwrap_or(0);
-        if *n > max {
+        let n = totals
+            .iter()
+            .find(|(r, _)| *r == rule)
+            .map(|(_, n)| *n)
+            .unwrap_or(0);
+        rows.push((rule.clone(), max, n));
+        if n > max {
             findings.push(Finding {
-                file: budget_file.to_string(),
+                file: baseline_file.to_string(),
                 line: 1,
                 col: 1,
                 rule: "allow-hygiene".into(),
                 message: format!(
-                    "allow budget exceeded for `{rule}`: {n} used, {max} budgeted; \
-                     fix the sites or raise the ceiling in an explicit, reviewed bump"
+                    "allow baseline exceeded for `{rule}`: {n} used, {max} budgeted; \
+                     fix the sites or bump the baseline in an explicit, reviewed change"
+                ),
+                snippet: String::new(),
+            });
+        } else if n < max {
+            findings.push(Finding {
+                file: baseline_file.to_string(),
+                line: 1,
+                col: 1,
+                rule: "allow-hygiene".into(),
+                message: format!(
+                    "allow baseline is stale for `{rule}`: {n} used, {max} budgeted; \
+                     the ratchet only shrinks — regenerate with `--write-baseline`"
                 ),
                 snippet: String::new(),
             });
         }
     }
-    findings
+    (rows, findings)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    const SAMPLE: &str = r#"{
+  "comment": "ceilings",
+  "rules": {
+    "arith": { "allows": 2 },
+    "determinism": { "allows": 0 },
+    "panic": { "allows": 15 }
+  }
+}"#;
+
     #[test]
-    fn parses_lines_and_comments() {
-        let b = parse_budget("# ceiling\npanic 12\ndeterminism 0 # none\n\n");
+    fn parses_rule_ceilings() {
+        let b = parse_baseline(SAMPLE);
         assert_eq!(
             b,
-            vec![("panic".to_string(), 12), ("determinism".to_string(), 0)]
+            vec![
+                ("arith".to_string(), 2),
+                ("determinism".to_string(), 0),
+                ("panic".to_string(), 15)
+            ]
         );
     }
 
     #[test]
-    fn over_budget_is_a_finding() {
-        let budget = vec![("panic".to_string(), 1)];
+    fn render_then_parse_roundtrips() {
+        let rules = vec![("panic".to_string(), 3), ("lock".to_string(), 1)];
+        let mut parsed = parse_baseline(&render_baseline(&rules));
+        parsed.sort();
+        let mut rules = rules;
+        rules.sort();
+        assert_eq!(parsed, rules);
+    }
+
+    #[test]
+    fn over_baseline_is_a_finding() {
+        let baseline = vec![("panic".to_string(), 1)];
         let used = vec![("panic".to_string(), 3), ("panic".to_string(), 9)];
-        let f = check_budget(&budget, &used, "crates/lint/allow-budget.txt");
+        let (rows, f) = check_baseline(&baseline, &used, "crates/lint/baseline.json");
+        assert_eq!(rows, vec![("panic".to_string(), 1, 2)]);
         assert_eq!(f.len(), 1);
         assert!(f[0].message.contains("2 used, 1 budgeted"));
     }
 
     #[test]
-    fn within_budget_is_clean() {
-        let budget = vec![("panic".to_string(), 2)];
+    fn exact_match_is_clean() {
+        let baseline = vec![("panic".to_string(), 1)];
         let used = vec![("panic".to_string(), 3)];
-        assert!(check_budget(&budget, &used, "b").is_empty());
+        let (_, f) = check_baseline(&baseline, &used, "b");
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn slack_is_a_finding_too() {
+        let baseline = vec![("panic".to_string(), 5)];
+        let used = vec![("panic".to_string(), 3)];
+        let (_, f) = check_baseline(&baseline, &used, "b");
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("stale"));
     }
 
     #[test]
     fn unbudgeted_rule_defaults_to_zero() {
         let used = vec![("determinism".to_string(), 7)];
-        let f = check_budget(&[], &used, "b");
+        let (_, f) = check_baseline(&[], &used, "b");
         assert_eq!(f.len(), 1);
         assert!(f[0].message.contains("0 budgeted"));
+    }
+
+    #[test]
+    fn missing_or_malformed_baseline_parses_empty() {
+        assert!(parse_baseline("").is_empty());
+        assert!(parse_baseline("{}").is_empty());
+        assert!(parse_baseline("not json at all").is_empty());
     }
 }

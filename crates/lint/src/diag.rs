@@ -12,7 +12,8 @@ pub struct Finding {
     pub line: u32,
     /// 1-based column (byte offset within the line + 1).
     pub col: u32,
-    /// Rule id: `determinism`, `effects`, `panic`, or `allow-hygiene`.
+    /// Rule id: `determinism`, `effects`, `panic`, `surface`, `lock`,
+    /// `arith`, or `allow-hygiene`.
     pub rule: String,
     /// Human-readable explanation.
     pub message: String,
@@ -57,9 +58,14 @@ impl Finding {
     }
 }
 
-/// Renders the full report: a JSON object with a findings array and
-/// per-rule counts, stable field order for diffing across PRs.
-pub fn render_json_report(findings: &[Finding], files_scanned: usize) -> String {
+/// Renders the full report: a JSON object with a findings array, per-rule
+/// counts, and the baseline-vs-used diff (`(rule, budgeted, used)` rows),
+/// stable field order for diffing across PRs.
+pub fn render_json_report(
+    findings: &[Finding],
+    files_scanned: usize,
+    baseline: &[(String, u32, u32)],
+) -> String {
     let mut counts: Vec<(String, u32)> = Vec::new();
     for f in findings {
         match counts.iter_mut().find(|(r, _)| *r == f.rule) {
@@ -75,6 +81,18 @@ pub fn render_json_report(findings: &[Finding], files_scanned: usize) -> String 
         let _ = write!(out, "{sep}\n    {}: {n}", json_str(rule));
     }
     if !counts.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("},\n  \"baseline\": {");
+    for (i, (rule, budgeted, used)) in baseline.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let _ = write!(
+            out,
+            "{sep}\n    {}: {{\"allows\": {budgeted}, \"used\": {used}}}",
+            json_str(rule)
+        );
+    }
+    if !baseline.is_empty() {
         out.push_str("\n  ");
     }
     out.push_str("},\n  \"findings\": [");
@@ -143,15 +161,22 @@ mod tests {
     fn report_counts_by_rule() {
         let mut f2 = sample();
         f2.rule = "panic".into();
-        let rep = render_json_report(&[sample(), sample(), f2], 42);
+        let rep = render_json_report(&[sample(), sample(), f2], 42, &[]);
         assert!(rep.contains("\"files_scanned\": 42"));
         assert!(rep.contains("\"determinism\": 2"));
         assert!(rep.contains("\"panic\": 1"));
     }
 
     #[test]
+    fn report_diffs_baseline_rows() {
+        let rep = render_json_report(&[], 3, &[("panic".into(), 15, 14)]);
+        assert!(rep.contains("\"panic\": {\"allows\": 15, \"used\": 14}"));
+    }
+
+    #[test]
     fn empty_report_is_valid_json_shape() {
-        let rep = render_json_report(&[], 0);
+        let rep = render_json_report(&[], 0, &[]);
         assert!(rep.contains("\"findings\": []"));
+        assert!(rep.contains("\"baseline\": {}"));
     }
 }

@@ -1,0 +1,323 @@
+//! P2 — lock discipline, and P3 — codec/storage arithmetic.
+//!
+//! **Lock discipline** is an intra-function flow pass. The no-wait locking
+//! protocol (locks.rs) has three acquisition entry points —
+//! `try_exclusive`, `try_shared`, `force_exclusive` — and a held lock is
+//! only ever relinquished through the release/lease vocabulary: an
+//! explicit `release_lock`/`release`, a `transfer_exclusive` handoff, or a
+//! timer fence (`arm_lock_lease`, `Timer::PropLease`, `arm_decision_retry`)
+//! that guarantees the lock cannot outlive a crashed or refused operation.
+//! Three rules:
+//!
+//! * **lock-1** — a function that acquires must also name the
+//!   release/lease vocabulary; otherwise every path through it leaks.
+//! * **lock-2** — `transfer_exclusive` (the pipelined 2PC decision-time
+//!   handoff, DESIGN.md §10) must migrate the lock *lease* too, or the new
+//!   holder never times out.
+//! * **lock-3** — after an *unconditional* acquire (`force_exclusive`, or
+//!   a `try_*` whose grant is discarded in statement position), any
+//!   `return` or `?` exit reached before the first release/lease mention
+//!   leaks the lock on that path. Conditional acquires
+//!   (`if lock.try_exclusive(op) == Busy { return refuse(); }`) are out of
+//!   scope: their refusal paths never held the lock.
+//!
+//! **Arithmetic** polices the torn-write boundary (engine/codec.rs,
+//! engine/storage.rs): these functions parse adversarial bytes, so every
+//! narrowing `as` cast, unchecked `+`/`-`/`*` on length-ish operands, and
+//! non-literal index is a potential panic or wraparound mis-parse. The
+//! decode paths must degrade to `Undecodable`/`Quarantined`, never panic.
+
+use crate::lexer::{TokKind, Token};
+use crate::parse::FnItem;
+
+/// Raw finding tuple: (rule, message, line, col).
+pub(crate) type Raw = (String, String, u32, u32);
+
+const ACQUIRE: &[&str] = &["try_exclusive", "try_shared", "force_exclusive"];
+
+/// Naming the release/lease vocabulary is what discharges a lock
+/// obligation. `release_lock` / `release` free the lock, `transfer_exclusive`
+/// hands it to a successor, and the lease/fence armers guarantee a timer
+/// will free it even if the operation dies.
+const DISCHARGE: &[&str] = &[
+    "release_lock",
+    "release",
+    "transfer_exclusive",
+    "arm_lock_lease",
+    "lock_leases",
+    "PropLease",
+    "arm_decision_retry",
+];
+
+/// True if `toks[i]` is a method call `.name(`.
+fn is_method_call(toks: &[Token], i: usize) -> bool {
+    i > 0 && toks[i - 1].is_punct('.') && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+}
+
+/// For a method call at `i`, walks left over the receiver chain
+/// (`self.vol.lock.`) and returns true when the token *before* the chain
+/// is a statement boundary — i.e. the call's value is discarded, so the
+/// grant is not being branched on.
+fn statement_position(toks: &[Token], i: usize) -> bool {
+    let mut j = i - 1; // the `.` before the method name
+    loop {
+        if j == 0 {
+            return true; // start of file: treat as statement
+        }
+        let t = &toks[j - 1];
+        if t.kind == TokKind::Ident || t.is_punct('.') {
+            j -= 1;
+            continue;
+        }
+        return t.is_punct(';') || t.is_punct('{') || t.is_punct('}');
+    }
+}
+
+/// The P2 lock pass over one file's functions.
+pub(crate) fn lock_pass(toks: &[Token], skipped: &[bool], fns: &[FnItem]) -> Vec<Raw> {
+    let mut raw = Vec::new();
+    for f in fns {
+        if skipped.get(f.tok).copied().unwrap_or(false) {
+            continue;
+        }
+        let (b0, b1) = f.body;
+        let body = b0..b1.min(toks.len());
+
+        let mut acquires = Vec::new(); // (tok idx, unconditional)
+        let mut discharges = Vec::new(); // tok idx
+        for i in body.clone() {
+            if skipped[i] || toks[i].kind != TokKind::Ident {
+                continue;
+            }
+            let name = toks[i].text.as_str();
+            if ACQUIRE.contains(&name) && is_method_call(toks, i) {
+                let unconditional = name == "force_exclusive" || statement_position(toks, i);
+                acquires.push((i, unconditional));
+            }
+            if DISCHARGE.contains(&name) {
+                discharges.push(i);
+            }
+        }
+        // lock-2: a handoff must migrate the lease. Checked even in
+        // functions that never acquire — a handoff typically moves a lock
+        // some earlier step took.
+        for &i in &discharges {
+            if toks[i].text == "transfer_exclusive"
+                && is_method_call(toks, i)
+                && !discharges
+                    .iter()
+                    .any(|&d| toks[d].text == "lock_leases" || toks[d].text == "arm_lock_lease")
+            {
+                raw.push((
+                    "lock".into(),
+                    "`.transfer_exclusive()` hands off the lock without \
+                     migrating its lease (`lock_leases` / `arm_lock_lease`); \
+                     the new holder would never time out"
+                        .into(),
+                    toks[i].line,
+                    toks[i].col,
+                ));
+            }
+        }
+        if acquires.is_empty() {
+            continue;
+        }
+
+        // lock-1: acquisition with no discharge vocabulary anywhere.
+        if discharges.is_empty() {
+            for &(i, _) in &acquires {
+                raw.push((
+                    "lock".into(),
+                    format!(
+                        "`.{}()` acquires the replica lock but this function \
+                         never releases it, hands it off, or arms a lease \
+                         fence; every path through it leaks the lock",
+                        toks[i].text
+                    ),
+                    toks[i].line,
+                    toks[i].col,
+                ));
+            }
+            continue; // lock-3 would only duplicate the report
+        }
+
+        // lock-3: unconditional acquire, then an exit before any discharge.
+        for &(a, unconditional) in &acquires {
+            if !unconditional {
+                continue;
+            }
+            for i in a + 1..body.end {
+                if skipped[i] {
+                    continue;
+                }
+                if discharges.iter().any(|&d| d > a && d <= i) {
+                    break; // obligation discharged before any exit
+                }
+                let is_exit = toks[i].is_ident("return") || toks[i].is_punct('?');
+                if is_exit {
+                    raw.push((
+                        "lock".into(),
+                        format!(
+                            "early exit leaks the replica lock acquired by \
+                             `.{}()` on line {}; release it or arm a lease \
+                             fence before this path leaves the function",
+                            toks[a].text, toks[a].line
+                        ),
+                        toks[i].line,
+                        toks[i].col,
+                    ));
+                    break; // one report per acquire is enough
+                }
+            }
+        }
+    }
+    raw
+}
+
+/// Narrowing targets on 64-bit hosts. `usize`/`u64` stay out of the list:
+/// widening casts are value-preserving, and the index rule below catches
+/// `table[x as usize]` subscripts regardless.
+const NARROW: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// Identifiers that smell like lengths/offsets; arithmetic on them at the
+/// decode boundary must be checked.
+const LENGTHY: &[&str] = &[
+    "len", "pos", "offset", "off", "idx", "index", "count", "cap", "keep", "end", "size", "n",
+];
+
+/// True if `toks[i]` and `toks[i + 1]` are glued into one operator
+/// (`+=`, `->`, `..` is not an op here, etc.).
+fn glued(toks: &[Token], i: usize, next: char) -> bool {
+    let (Some(a), Some(b)) = (toks.get(i), toks.get(i + 1)) else {
+        return false;
+    };
+    b.is_punct(next) && a.line == b.line && b.col == a.col + 1
+}
+
+/// The P3 arithmetic pass over one file.
+pub(crate) fn arith_pass(toks: &[Token], skipped: &[bool]) -> Vec<Raw> {
+    let mut raw = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if skipped[i] {
+            continue;
+        }
+        // Narrowing `as` casts.
+        if t.is_ident("as") {
+            if let Some(n) = toks.get(i + 1) {
+                if n.kind == TokKind::Ident && NARROW.contains(&n.text.as_str()) {
+                    raw.push((
+                        "arith".into(),
+                        format!(
+                            "narrowing `as {}` cast at the codec boundary \
+                             silently truncates; use `try_from` (or a checked \
+                             helper) so corrupt lengths become decode errors",
+                            n.text
+                        ),
+                        t.line,
+                        t.col,
+                    ));
+                }
+            }
+            continue;
+        }
+        if t.kind != TokKind::Punct {
+            continue;
+        }
+        let c = t.text.chars().next().unwrap_or('\0');
+        // Unchecked +, -, * on length-ish operands.
+        if matches!(c, '+' | '-' | '*') {
+            if glued(toks, i, '=') || (c == '-' && glued(toks, i, '>')) {
+                continue; // compound assignment / return arrow
+            }
+            let binary = i > 0
+                && (matches!(toks[i - 1].kind, TokKind::Ident | TokKind::Literal)
+                    || toks[i - 1].is_punct(')')
+                    || toks[i - 1].is_punct(']'));
+            if !binary {
+                continue; // unary minus / deref / reference
+            }
+            if window_has_lengthy(toks, i) {
+                raw.push((
+                    "arith".into(),
+                    format!(
+                        "unchecked `{c}` on a length/offset at the codec \
+                         boundary; adversarial bytes can overflow it — use \
+                         `checked_*`/`saturating_*` so corruption degrades \
+                         to a decode error, not a wraparound"
+                    ),
+                    t.line,
+                    t.col,
+                ));
+            }
+            continue;
+        }
+        // Non-literal indexing in expression position.
+        if c == '[' {
+            let expr_pos = i > 0
+                && (toks[i - 1].kind == TokKind::Ident
+                    || toks[i - 1].is_punct(')')
+                    || toks[i - 1].is_punct(']'));
+            if !expr_pos {
+                continue;
+            }
+            let mut depth = 0i64;
+            let mut has_ident = false;
+            for t in &toks[i..] {
+                if t.is_punct('[') {
+                    depth += 1;
+                } else if t.is_punct(']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if t.kind == TokKind::Ident {
+                    has_ident = true;
+                }
+            }
+            if has_ident {
+                raw.push((
+                    "arith".into(),
+                    "non-literal index at the codec boundary can panic on \
+                     corrupt input; use `.get(..)` and treat `None` as a \
+                     decode error"
+                        .into(),
+                    t.line,
+                    t.col,
+                ));
+            }
+        }
+    }
+    raw
+}
+
+/// Looks a few tokens around the operator (bounded by statement
+/// punctuation) for length-ish identifiers or a `.len(` call.
+fn window_has_lengthy(toks: &[Token], op: usize) -> bool {
+    let stop = |t: &Token| t.is_punct(';') || t.is_punct('{') || t.is_punct('}') || t.is_punct(',');
+    let mut seen = false;
+    let mut j = op;
+    for _ in 0..6 {
+        if j == 0 {
+            break;
+        }
+        j -= 1;
+        if stop(&toks[j]) {
+            break;
+        }
+        if toks[j].kind == TokKind::Ident && LENGTHY.contains(&toks[j].text.as_str()) {
+            seen = true;
+        }
+    }
+    let mut j = op;
+    for _ in 0..6 {
+        j += 1;
+        let Some(t) = toks.get(j) else { break };
+        if stop(t) {
+            break;
+        }
+        if t.kind == TokKind::Ident && LENGTHY.contains(&t.text.as_str()) {
+            seen = true;
+        }
+    }
+    seen
+}

@@ -1,30 +1,41 @@
-//! `coterie-lint`: a self-hosted determinism & effect-discipline analyzer.
+//! `coterie-lint`: a self-hosted determinism & protocol-surface analyzer.
 //!
 //! The sans-I/O engine in `coterie-core` promises *same inputs ⇒ same
 //! effects, byte-identical* — the property the interleaving explorer's
 //! digest dedup, the crash-replay proptest, and the paper's
 //! one-copy-serializability argument all depend on. This crate makes that
 //! promise mechanically checkable: it tokenizes every workspace `*.rs`
-//! file (no rustc, no syn — a hand-written lexer keeps the tool std-only
-//! per the offline vendor policy) and enforces role-scoped rules:
+//! file (no rustc, no syn — a hand-written lexer plus an item-level parser
+//! keep the tool std-only per the offline vendor policy) and enforces
+//! role-scoped rules:
 //!
 //! | rule | scope | forbids |
 //! |------|-------|---------|
 //! | `determinism` | core engine/protocol modules | `HashMap`/`HashSet` state, `Instant`/`SystemTime`, `rand::`/`thread_rng`, `std::thread`, `println!`-family |
 //! | `effects` | core + protocol libraries | naming `std::{fs,net,io,process}` or I/O types outside `engine/io.rs`, `host.rs`, host crates |
 //! | `panic` | core, quorum, base, simnet | `.unwrap()`/`.expect()`/`panic!`-family without `// lint:allow(panic): reason` |
-//! | `allow-hygiene` | everywhere a directive appears | reason-less or unused `lint:allow`, budget overruns |
+//! | `surface` | core protocol + hosts | dead/unmatched `Input`/`Effect`/`Msg`/`MsgClass`/`Timer` variants, hosts missing effect arms, wildcard `_` arms over protocol enums |
+//! | `lock` | core protocol modules | acquire paths that can leak the replica lock (no release/lease, leaky early returns, lease-less handoffs) |
+//! | `arith` | engine/codec.rs, engine/storage.rs | narrowing `as` casts, unchecked length/offset arithmetic, non-literal indexing |
+//! | `allow-hygiene` | everywhere a directive appears | reason-less or unused `lint:allow`, baseline-ratchet violations |
 //!
-//! See DESIGN.md §8 for the full scoping model and suppression policy.
+//! See DESIGN.md §8 (determinism scoping) and §13 (protocol-surface
+//! analysis, allow grammar, baseline ratchet) for the full model.
 
 pub mod budget;
 pub mod diag;
+pub mod flow;
 pub mod lexer;
+pub mod parse;
 pub mod rules;
 pub mod scan;
+pub mod surface;
 
 use diag::Finding;
 use std::path::Path;
+
+/// Workspace-relative path of the ratcheted allow baseline.
+pub const BASELINE_REL: &str = "crates/lint/baseline.json";
 
 /// Outcome of a full workspace scan.
 #[derive(Debug, Default)]
@@ -33,30 +44,55 @@ pub struct ScanOutcome {
     pub findings: Vec<Finding>,
     /// Number of files analyzed (role != NONE).
     pub files_scanned: usize,
+    /// Baseline diff rows: (rule, budgeted allows, used allows).
+    pub baseline: Vec<(String, u32, u32)>,
 }
 
 /// Runs the lint over the workspace rooted at `root`.
+///
+/// Three stages: (1) every policed file runs its per-file passes
+/// (D-rules, lock, arith, and surface extraction); (2) the workspace-level
+/// surface matrix cross-references enum definitions, constructions, and
+/// consumer coverage, injecting findings back into the owning files so
+/// `lint:allow(surface)` directives apply; (3) directive hygiene settles
+/// and the used-allow totals are ratcheted against `baseline.json`.
 pub fn run_workspace(root: &Path) -> std::io::Result<ScanOutcome> {
     let files = scan::collect_rs_files(root)?;
-    let mut outcome = ScanOutcome::default();
-    let mut allows_used: Vec<(String, u32)> = Vec::new();
+    let mut analyses: Vec<rules::FileAnalysis> = Vec::new();
     for (rel, path) in &files {
         let spec = scan::role_for(rel);
         if !spec.any() {
             continue;
         }
         let src = std::fs::read_to_string(path)?;
-        let report = rules::analyze(rel, &src, spec);
-        outcome.findings.extend(report.findings);
-        allows_used.extend(report.allows_used);
+        analyses.push(rules::analyze_file(rel, &src, spec));
+    }
+
+    let matrix = {
+        let surfaces: Vec<(String, &surface::FileSurface)> = analyses
+            .iter()
+            .map(|a| (a.file.clone(), &a.surface))
+            .collect();
+        surface::check_workspace(&surfaces)
+    };
+    for (idx, raw) in matrix {
+        analyses[idx].push_raw(vec![raw]);
+    }
+
+    let mut outcome = ScanOutcome::default();
+    let mut allows_used: Vec<(String, u32)> = Vec::new();
+    for mut a in analyses {
+        a.finish();
+        outcome.findings.extend(a.findings);
+        allows_used.extend(a.allows_used);
         outcome.files_scanned += 1;
     }
-    let budget_rel = "crates/lint/allow-budget.txt";
-    let budget_text = std::fs::read_to_string(root.join(budget_rel)).unwrap_or_default();
-    let budget = budget::parse_budget(&budget_text);
-    outcome
-        .findings
-        .extend(budget::check_budget(&budget, &allows_used, budget_rel));
+
+    let baseline_text = std::fs::read_to_string(root.join(BASELINE_REL)).unwrap_or_default();
+    let baseline = budget::parse_baseline(&baseline_text);
+    let (rows, ratchet_findings) = budget::check_baseline(&baseline, &allows_used, BASELINE_REL);
+    outcome.baseline = rows;
+    outcome.findings.extend(ratchet_findings);
     outcome
         .findings
         .sort_by(|a, b| (&a.file, a.line, a.col).cmp(&(&b.file, b.line, b.col)));

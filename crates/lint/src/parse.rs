@@ -1,0 +1,569 @@
+//! A lightweight item-level parser on top of [`crate::lexer`].
+//!
+//! The multi-pass rules (protocol-surface coverage, lock discipline) need
+//! more shape than adjacent-token patterns: which `enum`s a file defines,
+//! which `match` expressions it contains and what their arm *patterns*
+//! cover, and where function bodies begin and end. This module recovers
+//! exactly that much structure — no expressions, no types, no name
+//! resolution — from the token stream. It is deliberately forgiving:
+//! malformed input degrades to "no items found", never to a panic, because
+//! the lint also runs over fixture files that are not valid Rust.
+
+use crate::lexer::{TokKind, Token};
+
+/// An `enum` definition: name and variants with their positions.
+#[derive(Clone, Debug)]
+pub struct EnumDef {
+    /// The enum's name.
+    pub name: String,
+    /// Declaration line (of the name token).
+    pub line: u32,
+    /// Token index of the `enum` keyword (for skip-mask checks).
+    pub tok: usize,
+    /// The variants, in declaration order.
+    pub variants: Vec<Variant>,
+}
+
+/// One enum variant.
+#[derive(Clone, Debug)]
+pub struct Variant {
+    /// Variant name.
+    pub name: String,
+    /// 1-based line of the variant name.
+    pub line: u32,
+    /// 1-based column of the variant name.
+    pub col: u32,
+}
+
+/// One arm of a `match` expression.
+#[derive(Clone, Debug)]
+pub struct Arm {
+    /// Token range (half-open, indices into the lexed stream) of the arm's
+    /// pattern, excluding any `if` guard.
+    pub pat: (usize, usize),
+    /// Line of the first pattern token.
+    pub line: u32,
+    /// Column of the first pattern token.
+    pub col: u32,
+    /// True if the pattern is exactly the single token `_`.
+    pub wildcard: bool,
+}
+
+/// One `match` expression.
+#[derive(Clone, Debug)]
+pub struct MatchExpr {
+    /// Line of the `match` keyword.
+    pub line: u32,
+    /// Column of the `match` keyword.
+    pub col: u32,
+    /// Token index of the `match` keyword (for skip-mask checks).
+    pub tok: usize,
+    /// The arms, in source order.
+    pub arms: Vec<Arm>,
+}
+
+/// One `fn` item (or nested fn; closures are not items).
+#[derive(Clone, Debug)]
+pub struct FnItem {
+    /// The function's name.
+    pub name: String,
+    /// Line of the name token.
+    pub line: u32,
+    /// Token index of the `fn` keyword (for skip-mask checks).
+    pub tok: usize,
+    /// Token range (half-open) of the body, inside the braces.
+    pub body: (usize, usize),
+}
+
+/// Everything the item-level parser recovers from one file.
+#[derive(Clone, Debug, Default)]
+pub struct Parsed {
+    /// `enum` definitions.
+    pub enums: Vec<EnumDef>,
+    /// `match` expressions (including nested ones).
+    pub matches: Vec<MatchExpr>,
+    /// `fn` items with bodies.
+    pub fns: Vec<FnItem>,
+    /// `pattern_mask[i]` is true when token `i` sits in *pattern position*:
+    /// a match-arm pattern (guard excluded) or the pattern of a
+    /// `let` / `if let` / `while let` binding. Rules use this to tell
+    /// `Msg::Vote { .. }` the pattern from `Msg::Vote { .. }` the
+    /// constructor.
+    pub pattern_mask: Vec<bool>,
+}
+
+/// True if `toks[i]` and `toks[i + 1]` are the adjacent two-character
+/// operator `a` `b` (same line, touching columns) — distinguishes `=>` from
+/// `> =`, `+=` from `+ =`, and so on.
+fn adjacent_pair(toks: &[Token], i: usize, a: char, b: char) -> bool {
+    let (Some(x), Some(y)) = (toks.get(i), toks.get(i + 1)) else {
+        return false;
+    };
+    x.is_punct(a) && y.is_punct(b) && x.line == y.line && y.col == x.col + 1
+}
+
+/// Bracket-depth bookkeeping over `(`, `[`, `{`.
+fn depth_delta(t: &Token) -> i64 {
+    if t.kind != TokKind::Punct {
+        return 0;
+    }
+    match t.text.as_bytes().first() {
+        Some(b'(') | Some(b'[') | Some(b'{') => 1,
+        Some(b')') | Some(b']') | Some(b'}') => -1,
+        _ => 0,
+    }
+}
+
+/// Parses the token stream into items. Never panics on malformed input.
+pub fn parse(toks: &[Token]) -> Parsed {
+    let mut out = Parsed {
+        pattern_mask: vec![false; toks.len()],
+        ..Parsed::default()
+    };
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.kind == TokKind::Ident {
+            match t.text.as_str() {
+                "enum" => {
+                    if let Some((def, end)) = parse_enum(toks, i) {
+                        out.enums.push(def);
+                        i = end;
+                        continue;
+                    }
+                }
+                "match" => {
+                    if let Some(m) = parse_match(toks, i) {
+                        for arm in &m.arms {
+                            for s in &mut out.pattern_mask[arm.pat.0..arm.pat.1] {
+                                *s = true;
+                            }
+                        }
+                        out.matches.push(m);
+                        // Do NOT skip ahead: nested matches inside arm
+                        // bodies are parsed by the same loop.
+                    }
+                }
+                "fn" => {
+                    if let Some(f) = parse_fn(toks, i) {
+                        out.fns.push(f);
+                    }
+                }
+                "let" => {
+                    // `let PAT = expr;` / `if let PAT = expr` /
+                    // `let PAT else`: mark the pattern segment.
+                    if let Some(end) = let_pattern_end(toks, i) {
+                        for s in &mut out.pattern_mask[i + 1..end] {
+                            *s = true;
+                        }
+                    }
+                }
+                "matches" => {
+                    // `matches!(expr, PAT)` / `matches!(expr, PAT if g)`:
+                    // the second argument is a pattern, not an expression.
+                    if let Some((start, end)) = matches_pattern_range(toks, i) {
+                        for s in &mut out.pattern_mask[start..end] {
+                            *s = true;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// From the `enum` keyword at `i`, parses the definition. Returns the def
+/// and the index just past the closing brace.
+fn parse_enum(toks: &[Token], i: usize) -> Option<(EnumDef, usize)> {
+    let name_tok = toks.get(i + 1)?;
+    if name_tok.kind != TokKind::Ident {
+        return None;
+    }
+    // Scan to the body `{` at depth 0 (skipping generics and where-clauses;
+    // `<` / `>` are not bracket-depth, so only (), [], {} count).
+    let mut j = i + 2;
+    let mut depth = 0i64;
+    let open = loop {
+        let t = toks.get(j)?;
+        if depth == 0 && t.is_punct('{') {
+            break j;
+        }
+        if depth == 0 && t.is_punct(';') {
+            return None; // `enum Foo;` is not valid, but stay graceful
+        }
+        depth += depth_delta(t);
+        j += 1;
+    };
+    // Variants: at depth 1 inside the braces, each comma-separated group's
+    // first identifier (skipping `#[...]` attributes) is the variant name.
+    let mut variants = Vec::new();
+    let mut j = open + 1;
+    let mut depth = 1i64;
+    let mut expect_name = true;
+    while j < toks.len() && depth > 0 {
+        let t = &toks[j];
+        if depth == 1 {
+            if t.is_punct('#') && toks.get(j + 1).is_some_and(|n| n.is_punct('[')) {
+                // Skip the attribute.
+                let mut k = j + 1;
+                let mut d = 0i64;
+                while k < toks.len() {
+                    d += depth_delta(&toks[k]);
+                    if d == 0 {
+                        break;
+                    }
+                    k += 1;
+                }
+                j = k + 1;
+                continue;
+            }
+            if t.is_punct(',') {
+                expect_name = true;
+            } else if expect_name && t.kind == TokKind::Ident {
+                variants.push(Variant {
+                    name: t.text.clone(),
+                    line: t.line,
+                    col: t.col,
+                });
+                expect_name = false;
+            }
+        }
+        depth += depth_delta(t);
+        j += 1;
+    }
+    Some((
+        EnumDef {
+            name: name_tok.text.clone(),
+            line: name_tok.line,
+            tok: i,
+            variants,
+        },
+        j,
+    ))
+}
+
+/// From the `match` keyword at `i`, parses the expression's arms.
+fn parse_match(toks: &[Token], i: usize) -> Option<MatchExpr> {
+    // The scrutinee runs to the first `{` at depth 0 (struct literals are
+    // not legal in match scrutinees without parens, so this is the body).
+    let mut j = i + 1;
+    let mut depth = 0i64;
+    let open = loop {
+        let t = toks.get(j)?;
+        if depth == 0 && (t.is_punct(';') || t.is_punct('}')) {
+            return None; // `match` used as an identifier-ish fragment
+        }
+        if depth == 0 && t.is_punct('{') {
+            break j;
+        }
+        depth += depth_delta(t);
+        j += 1;
+    };
+    let mut arms = Vec::new();
+    let mut j = open + 1;
+    loop {
+        // Skip separators.
+        while toks.get(j).is_some_and(|t| t.is_punct(',')) {
+            j += 1;
+        }
+        let t = toks.get(j)?;
+        if t.is_punct('}') {
+            break; // end of match body
+        }
+        // Pattern: runs to `=>` at depth 0; an `if` guard at depth 0 ends
+        // the pattern early (guards are expressions, not patterns).
+        let pat_start = j;
+        let mut pat_end = None;
+        let mut depth = 0i64;
+        let arrow = loop {
+            let t = toks.get(j)?;
+            if depth == 0 {
+                if adjacent_pair(toks, j, '=', '>') {
+                    break j;
+                }
+                if pat_end.is_none() && t.is_ident("if") {
+                    pat_end = Some(j);
+                }
+            }
+            depth += depth_delta(t);
+            if depth < 0 {
+                return None; // ran off the match body: malformed
+            }
+            j += 1;
+        };
+        let pat_end = pat_end.unwrap_or(arrow);
+        let first = &toks[pat_start];
+        arms.push(Arm {
+            pat: (pat_start, pat_end),
+            line: first.line,
+            col: first.col,
+            // `_` lexes as an identifier (ident-start character).
+            wildcard: pat_end == pat_start + 1 && first.text == "_",
+        });
+        // Body: a braced block, or an expression running to `,` at depth 0
+        // (or the match's closing `}`).
+        j = arrow + 2; // past `=>`
+        let t = toks.get(j)?;
+        if t.is_punct('{') {
+            let mut d = 0i64;
+            while let Some(t) = toks.get(j) {
+                d += depth_delta(t);
+                j += 1;
+                if d == 0 {
+                    break;
+                }
+            }
+        } else {
+            let mut d = 0i64;
+            while let Some(t) = toks.get(j) {
+                if d == 0 && t.is_punct(',') {
+                    break;
+                }
+                if d == 0 && t.is_punct('}') {
+                    break;
+                }
+                d += depth_delta(t);
+                if d < 0 {
+                    break;
+                }
+                j += 1;
+            }
+        }
+    }
+    Some(MatchExpr {
+        line: toks[i].line,
+        col: toks[i].col,
+        tok: i,
+        arms,
+    })
+}
+
+/// From the `fn` keyword at `i`, parses the item header and body range.
+/// Returns `None` for bodyless declarations (trait methods, extern).
+fn parse_fn(toks: &[Token], i: usize) -> Option<FnItem> {
+    let name_tok = toks.get(i + 1)?;
+    if name_tok.kind != TokKind::Ident {
+        return None;
+    }
+    // Scan to the body `{` at depth 0; a `;` first means no body. The
+    // return type may contain braces only inside brackets (e.g.
+    // `-> [u8; N]`), which depth-counting already handles.
+    let mut j = i + 2;
+    let mut depth = 0i64;
+    let open = loop {
+        let t = toks.get(j)?;
+        if depth == 0 && t.is_punct(';') {
+            return None;
+        }
+        if depth == 0 && t.is_punct('{') {
+            break j;
+        }
+        depth += depth_delta(t);
+        if depth < 0 {
+            return None;
+        }
+        j += 1;
+    };
+    // Body: to the matching `}`.
+    let mut d = 0i64;
+    let mut j = open;
+    while let Some(t) = toks.get(j) {
+        d += depth_delta(t);
+        j += 1;
+        if d == 0 {
+            break;
+        }
+    }
+    Some(FnItem {
+        name: name_tok.text.clone(),
+        line: name_tok.line,
+        tok: i,
+        body: (open + 1, j.saturating_sub(1)),
+    })
+}
+
+/// For the `matches` identifier at `i`, if it opens a `matches!(..)`
+/// invocation, returns the token range of the pattern argument (after the
+/// first top-level comma, excluding any `if` guard, up to the closing
+/// paren).
+fn matches_pattern_range(toks: &[Token], i: usize) -> Option<(usize, usize)> {
+    if !toks.get(i + 1)?.is_punct('!') || !toks.get(i + 2)?.is_punct('(') {
+        return None;
+    }
+    let mut j = i + 3;
+    let mut depth = 1i64;
+    let mut start = None;
+    let mut guard = None;
+    while let Some(t) = toks.get(j) {
+        depth += depth_delta(t);
+        if depth == 0 {
+            let s = start?;
+            return Some((s, guard.unwrap_or(j)));
+        }
+        if depth == 1 {
+            if start.is_none() && t.is_punct(',') {
+                start = Some(j + 1);
+            } else if start.is_some() && guard.is_none() && t.is_ident("if") {
+                guard = Some(j);
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// For the `let` keyword at `i`, returns the token index ending the
+/// pattern segment: the `=` of the initializer, the `else` of a
+/// `let-else`, a `:` type ascription, or the terminating `;`.
+fn let_pattern_end(toks: &[Token], i: usize) -> Option<usize> {
+    let mut j = i + 1;
+    let mut depth = 0i64;
+    loop {
+        let t = toks.get(j)?;
+        if depth == 0 {
+            // `=` that is not `==` and not preceded-joined by an operator
+            // (`>=`, `+=`, ... cannot appear before a let initializer's
+            // `=`, but stay strict anyway).
+            if t.is_punct('=') && !adjacent_pair(toks, j, '=', '=') {
+                let joined_prev = j > 0 && {
+                    let p = &toks[j - 1];
+                    p.kind == TokKind::Punct && p.line == t.line && p.col + 1 == t.col
+                };
+                if !joined_prev {
+                    return Some(j);
+                }
+            }
+            if t.is_punct(':') {
+                // `::` inside a path pattern (`E::P(x)`) is part of the
+                // pattern; a lone `:` is type ascription and ends it.
+                if toks.get(j + 1).is_some_and(|n| n.is_punct(':')) {
+                    j += 2;
+                    continue;
+                }
+                return Some(j);
+            }
+            if t.is_punct(';') || t.is_ident("else") {
+                return Some(j);
+            }
+        }
+        depth += depth_delta(t);
+        if depth < 0 {
+            return Some(j);
+        }
+        j += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn parses_enum_variants_with_payloads() {
+        let src = "pub enum Msg {\n    WriteReq { op: u32 },\n    Release,\n    Vote(bool),\n}\n";
+        let p = parse(&lex(src).tokens);
+        assert_eq!(p.enums.len(), 1);
+        let e = &p.enums[0];
+        assert_eq!(e.name, "Msg");
+        let names: Vec<_> = e.variants.iter().map(|v| v.name.as_str()).collect();
+        assert_eq!(names, vec!["WriteReq", "Release", "Vote"]);
+        assert_eq!(e.variants[1].line, 3);
+    }
+
+    #[test]
+    fn enum_attributes_are_not_variants() {
+        let src = "enum E {\n    #[doc = \"x\"]\n    A,\n    B { x: u8 },\n}\n";
+        let p = parse(&lex(src).tokens);
+        let names: Vec<_> = p.enums[0]
+            .variants
+            .iter()
+            .map(|v| v.name.as_str())
+            .collect();
+        assert_eq!(names, vec!["A", "B"]);
+    }
+
+    #[test]
+    fn match_arms_and_wildcard() {
+        let src = "fn f(m: M) {\n    match m {\n        M::A { x } => use_it(x),\n        M::B | M::C => {}\n        _ => {}\n    }\n}\n";
+        let p = parse(&lex(src).tokens);
+        assert_eq!(p.matches.len(), 1);
+        let m = &p.matches[0];
+        assert_eq!(m.arms.len(), 3);
+        assert!(!m.arms[0].wildcard);
+        assert!(m.arms[2].wildcard);
+        assert_eq!(m.arms[2].line, 5);
+    }
+
+    #[test]
+    fn guard_is_not_part_of_the_pattern() {
+        let src = "fn f() { match x { Some(c) if c.has(M::A) => 1, _ => 2 }; }";
+        let p = parse(&lex(src).tokens);
+        let toks = lex(src).tokens;
+        let m = &p.matches[0];
+        let (s, e) = m.arms[0].pat;
+        let pat_text: Vec<_> = toks[s..e].iter().map(|t| t.text.as_str()).collect();
+        assert!(pat_text.contains(&"Some"));
+        assert!(!pat_text.contains(&"has"), "guard leaked into pattern");
+    }
+
+    #[test]
+    fn pattern_mask_separates_pattern_from_construction() {
+        let src = "fn f(m: M) -> M {\n    match m {\n        M::A => M::B,\n    }\n}\n";
+        let toks = lex(src).tokens;
+        let p = parse(&toks);
+        let a = toks.iter().position(|t| t.is_ident("A")).unwrap();
+        let b = toks.iter().position(|t| t.is_ident("B")).unwrap();
+        assert!(p.pattern_mask[a], "arm pattern not masked");
+        assert!(!p.pattern_mask[b], "arm body wrongly masked");
+    }
+
+    #[test]
+    fn let_and_if_let_patterns_are_masked() {
+        let src = "fn f(e: E) {\n    if let E::P(d) = e { drop(d) }\n    let E::Q { x } = make() else { return };\n    let y = E::R;\n}\n";
+        let toks = lex(src).tokens;
+        let p = parse(&toks);
+        let pat_p = toks.iter().position(|t| t.is_ident("P")).unwrap();
+        let pat_q = toks.iter().position(|t| t.is_ident("Q")).unwrap();
+        let con_r = toks.iter().position(|t| t.is_ident("R")).unwrap();
+        assert!(p.pattern_mask[pat_p]);
+        assert!(p.pattern_mask[pat_q]);
+        assert!(!p.pattern_mask[con_r], "initializer wrongly masked");
+    }
+
+    #[test]
+    fn matches_macro_argument_is_a_pattern() {
+        let src = "fn f(e: E) -> bool { matches!(e, E::P(_) if ok(E::Q)) }";
+        let toks = lex(src).tokens;
+        let p = parse(&toks);
+        let pat_p = toks.iter().position(|t| t.is_ident("P")).unwrap();
+        let grd_q = toks.iter().position(|t| t.is_ident("Q")).unwrap();
+        assert!(p.pattern_mask[pat_p], "matches! pattern not masked");
+        assert!(!p.pattern_mask[grd_q], "matches! guard wrongly masked");
+    }
+
+    #[test]
+    fn fn_items_have_body_ranges() {
+        let src = "impl S {\n    fn alpha(&self) -> u8 { 1 }\n    fn beta();\n}\nfn gamma() { inner() }\n";
+        let p = parse(&lex(src).tokens);
+        let names: Vec<_> = p.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["alpha", "gamma"]);
+    }
+
+    #[test]
+    fn nested_matches_are_both_found() {
+        let src = "fn f() { match a { A::X => match b { B::Y => 1, _ => 2 }, _ => 3 }; }";
+        let p = parse(&lex(src).tokens);
+        assert_eq!(p.matches.len(), 2);
+    }
+
+    #[test]
+    fn malformed_input_does_not_panic() {
+        for src in ["enum", "match {", "fn", "match x { A =>", "let"] {
+            let _ = parse(&lex(src).tokens);
+        }
+    }
+}

@@ -16,6 +16,16 @@
 //!   `// lint:allow(panic): reason` annotation, and the total number of
 //!   annotations is budgeted (see [`crate::budget`]).
 //!
+//! The flow-aware families build on the item-level parser
+//! ([`crate::parse`]):
+//!
+//! * **`surface`** (P1) — protocol-surface exhaustiveness over
+//!   `Input`/`Effect`/`Msg`/`MsgClass`/`Timer` (see [`crate::surface`]).
+//! * **`lock`** (P2) — acquire/release pairing for the replica lock
+//!   (see [`crate::flow`]).
+//! * **`arith`** (P3) — checked arithmetic at the codec/storage boundary
+//!   (see [`crate::flow`]).
+//!
 //! Suppression: `// lint:allow(<rule>): <reason>` on the offending line or
 //! alone on the line above. A missing reason and an unused directive are
 //! themselves findings (`allow-hygiene`), so the allowlist stays honest.
@@ -32,6 +42,12 @@ pub struct RoleSpec {
     pub effects: bool,
     /// D3 panic-hygiene rules.
     pub panic: bool,
+    /// P1 protocol-surface exhaustiveness (see [`crate::surface`]).
+    pub surface: bool,
+    /// P2 lock-discipline flow rules (see [`crate::flow`]).
+    pub lock: bool,
+    /// P3 codec-arithmetic rules (see [`crate::flow`]).
+    pub arith: bool,
 }
 
 impl RoleSpec {
@@ -40,11 +56,14 @@ impl RoleSpec {
         determinism: false,
         effects: false,
         panic: false,
+        surface: false,
+        lock: false,
+        arith: false,
     };
 
     /// True if any rule applies.
     pub fn any(&self) -> bool {
-        self.determinism || self.effects || self.panic
+        self.determinism || self.effects || self.panic || self.surface || self.lock || self.arith
     }
 }
 
@@ -70,22 +89,131 @@ pub struct FileReport {
     pub allows_used: Vec<(String, u32)>,
 }
 
-/// Analyzes one file's source under the given role.
+/// In-flight analysis of one file. The workspace scan holds these open so
+/// that cross-file passes (the protocol-surface matrix) can inject
+/// findings — which still honor this file's `lint:allow` directives —
+/// before directive hygiene is settled by `FileAnalysis::finish`.
+#[derive(Clone, Debug, Default)]
+pub struct FileAnalysis {
+    /// Workspace-relative path.
+    pub file: String,
+    /// Findings so far (post-suppression).
+    pub findings: Vec<Finding>,
+    /// Used `lint:allow` directives as (rule, line), for budgeting.
+    pub allows_used: Vec<(String, u32)>,
+    /// Surface extraction for the workspace matrix pass (empty unless the
+    /// file's role has `surface`).
+    pub surface: crate::surface::FileSurface,
+    directives: Vec<AllowDirective>,
+    lines: Vec<String>,
+    finished: bool,
+}
+
+impl FileAnalysis {
+    fn snippet(&self, line: u32) -> String {
+        self.lines
+            .get(line as usize - 1)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Adds raw findings (rule, message, line, col), suppressing each
+    /// against the file's `lint:allow` directives.
+    pub(crate) fn push_raw(&mut self, raw: Vec<(String, String, u32, u32)>) {
+        for (rule, msg, line, col) in raw {
+            let allowed = self
+                .directives
+                .iter_mut()
+                .find(|d| d.rule == rule && d.target == line);
+            match allowed {
+                Some(d) => {
+                    d.used = true;
+                    self.allows_used.push((rule, line));
+                }
+                None => {
+                    let snippet = self.snippet(line);
+                    self.findings.push(Finding {
+                        file: self.file.clone(),
+                        line,
+                        col,
+                        rule,
+                        message: msg,
+                        snippet,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Settles directive hygiene (missing reasons, unused allows) and
+    /// sorts the findings. Call once, after every pass has run.
+    pub(crate) fn finish(&mut self) {
+        debug_assert!(!self.finished, "finish() called twice");
+        self.finished = true;
+        for d in &self.directives {
+            if !d.has_reason {
+                let snippet = self.snippet(d.line);
+                self.findings.push(Finding {
+                    file: self.file.clone(),
+                    line: d.line,
+                    col: 1,
+                    rule: "allow-hygiene".into(),
+                    message: format!(
+                        "`lint:allow({})` without a reason; write \
+                         `// lint:allow({}): <why this is sound>`",
+                        d.rule, d.rule
+                    ),
+                    snippet,
+                });
+            } else if !d.used {
+                let snippet = self.snippet(d.line);
+                self.findings.push(Finding {
+                    file: self.file.clone(),
+                    line: d.line,
+                    col: 1,
+                    rule: "allow-hygiene".into(),
+                    message: format!(
+                        "unused `lint:allow({})` directive; delete it (the \
+                         allow budget must only shrink)",
+                        d.rule
+                    ),
+                    snippet,
+                });
+            }
+        }
+        self.findings
+            .sort_by(|a, b| (a.line, a.col, &a.rule).cmp(&(b.line, b.col, &b.rule)));
+    }
+}
+
+/// Analyzes one file's source under the given role: the single-file
+/// convenience wrapper over [`analyze_file`] + `FileAnalysis::finish`.
+/// (The workspace scan uses `analyze_file` directly so the surface matrix
+/// can run in between.)
 pub fn analyze(file: &str, src: &str, spec: RoleSpec) -> FileReport {
-    let mut report = FileReport::default();
+    let mut a = analyze_file(file, src, spec);
+    a.finish();
+    FileReport {
+        findings: a.findings,
+        allows_used: a.allows_used,
+    }
+}
+
+/// Runs every per-file pass the role asks for and returns the open
+/// analysis (directive hygiene not yet settled).
+pub fn analyze_file(file: &str, src: &str, spec: RoleSpec) -> FileAnalysis {
+    let mut analysis = FileAnalysis {
+        file: file.to_string(),
+        ..FileAnalysis::default()
+    };
     if !spec.any() {
-        return report;
+        analysis.finished = true;
+        return analysis;
     }
     let lexed = lex(src);
-    let skipped = skip_mask(&lexed.tokens);
-    let mut directives = parse_directives(&lexed.comments, &lexed.tokens);
-    let lines: Vec<&str> = src.lines().collect();
-    let snippet = |line: u32| -> String {
-        lines
-            .get(line as usize - 1)
-            .map(|l| l.to_string())
-            .unwrap_or_default()
-    };
+    let skipped = skip_mask(&lexed.tokens, true);
+    analysis.directives = parse_directives(&lexed.comments, &lexed.tokens);
+    analysis.lines = src.lines().map(|l| l.to_string()).collect();
 
     let mut raw: Vec<(String, String, u32, u32)> = Vec::new(); // rule, msg, line, col
     let toks = &lexed.tokens;
@@ -234,62 +362,28 @@ pub fn analyze(file: &str, src: &str, spec: RoleSpec) -> FileReport {
         }
     }
 
-    // Suppression pass.
-    for (rule, msg, line, col) in raw {
-        let allowed = directives
-            .iter_mut()
-            .find(|d| d.rule == rule && d.target == line);
-        match allowed {
-            Some(d) => {
-                d.used = true;
-                report.allows_used.push((rule, line));
-            }
-            None => report.findings.push(Finding {
-                file: file.to_string(),
-                line,
-                col,
-                rule,
-                message: msg,
-                snippet: snippet(line),
-            }),
+    // The flow-aware passes need item structure on top of the tokens.
+    if spec.lock || spec.arith || spec.surface {
+        let parsed = crate::parse::parse(toks);
+        if spec.lock {
+            raw.extend(crate::flow::lock_pass(toks, &skipped, &parsed.fns));
+        }
+        if spec.arith {
+            raw.extend(crate::flow::arith_pass(toks, &skipped));
+        }
+        if spec.surface {
+            // The surface pass uses its own mask: test code is skipped, but
+            // `simnet-host`-gated code stays live — the threaded host
+            // adapter is exactly the effect consumer being policed.
+            let live = skip_mask(toks, false);
+            let (fs, wraw) = crate::surface::extract(file, toks, &live, &parsed);
+            analysis.surface = fs;
+            raw.extend(wraw);
         }
     }
 
-    // Directive hygiene.
-    for d in &directives {
-        if !d.has_reason {
-            report.findings.push(Finding {
-                file: file.to_string(),
-                line: d.line,
-                col: 1,
-                rule: "allow-hygiene".into(),
-                message: format!(
-                    "`lint:allow({})` without a reason; write \
-                     `// lint:allow({}): <why this is sound>`",
-                    d.rule, d.rule
-                ),
-                snippet: snippet(d.line),
-            });
-        } else if !d.used {
-            report.findings.push(Finding {
-                file: file.to_string(),
-                line: d.line,
-                col: 1,
-                rule: "allow-hygiene".into(),
-                message: format!(
-                    "unused `lint:allow({})` directive; delete it (the \
-                     allow budget must only shrink)",
-                    d.rule
-                ),
-                snippet: snippet(d.line),
-            });
-        }
-    }
-
-    report
-        .findings
-        .sort_by(|a, b| (a.line, a.col, &a.rule).cmp(&(b.line, b.col, &b.rule)));
-    report
+    analysis.push_raw(raw);
+    analysis
 }
 
 /// If `toks[i]` is followed by `::X`, returns `X`'s text.
@@ -341,8 +435,10 @@ fn parse_directives(comments: &[Comment], toks: &[Token]) -> Vec<AllowDirective>
 /// Marks tokens belonging to items gated behind `#[cfg(test)]`, `#[test]`,
 /// `#[cfg(feature = "simnet-host")]`, or `#[cfg(any(test, ...))]` — those
 /// are host/test territory where the engine rules do not apply. Gates
-/// containing `not(...)` are conservatively treated as *live* code.
-fn skip_mask(toks: &[Token]) -> Vec<bool> {
+/// containing `not(...)` are conservatively treated as *live* code. With
+/// `skip_host_gated` false, `simnet-host`-gated items stay live (the
+/// surface pass polices the host adapter itself).
+fn skip_mask(toks: &[Token], skip_host_gated: bool) -> Vec<bool> {
     let mut skip = vec![false; toks.len()];
     let mut i = 0usize;
     while i < toks.len() {
@@ -364,7 +460,7 @@ fn skip_mask(toks: &[Token]) -> Vec<bool> {
             continue;
         };
         let attr = &toks[i + 2..attr_end];
-        let gates = attr_gates_test_or_host(attr);
+        let gates = attr_gates_test_or_host(attr, skip_host_gated);
         let mut j = attr_end + 1;
         if !gates {
             i = j;
@@ -448,7 +544,7 @@ fn matching_bracket(toks: &[Token], open: usize) -> Option<usize> {
 }
 
 /// Does this attribute token list gate the item into test/host territory?
-fn attr_gates_test_or_host(attr: &[Token]) -> bool {
+fn attr_gates_test_or_host(attr: &[Token], skip_host_gated: bool) -> bool {
     // Bare `#[test]` / `#[bench]`.
     if attr.len() == 1 && (attr[0].is_ident("test") || attr[0].is_ident("bench")) {
         return true;
@@ -460,7 +556,8 @@ fn attr_gates_test_or_host(attr: &[Token]) -> bool {
         return false; // `cfg(not(test))` is live code
     }
     attr.iter().any(|t| {
-        t.is_ident("test") || (t.kind == TokKind::Literal && t.text.contains("simnet-host"))
+        t.is_ident("test")
+            || (skip_host_gated && t.kind == TokKind::Literal && t.text.contains("simnet-host"))
     })
 }
 
@@ -472,6 +569,9 @@ mod tests {
         determinism: true,
         effects: true,
         panic: true,
+        surface: true,
+        lock: true,
+        arith: true,
     };
 
     fn rules_of(src: &str, spec: RoleSpec) -> Vec<(String, u32)> {
@@ -555,9 +655,8 @@ mod tests {
         let got = rules_of(
             src,
             RoleSpec {
-                determinism: false,
-                effects: false,
                 panic: true,
+                ..RoleSpec::NONE
             },
         );
         assert_eq!(got, vec![("panic".to_string(), 2)]);

@@ -16,6 +16,13 @@ use std::path::{Path, PathBuf};
 const IO_BOUNDARY: &[&str] = &["crates/core/src/engine/io.rs"];
 const HOST_BOUNDARY: &[&str] = &["crates/core/src/host.rs"];
 
+/// The codec boundary: parses adversarial bytes, so the P3 arithmetic
+/// rules apply on top of the full engine contract.
+const CODEC_BOUNDARY: &[&str] = &[
+    "crates/core/src/engine/codec.rs",
+    "crates/core/src/engine/storage.rs",
+];
+
 /// Assigns the rule set for a workspace-relative, `/`-separated path.
 /// Returns [`RoleSpec::NONE`] for files the lint does not police.
 pub fn role_for(rel: &str) -> RoleSpec {
@@ -26,20 +33,34 @@ pub fn role_for(rel: &str) -> RoleSpec {
     }
     if HOST_BOUNDARY.contains(&rel) {
         // The host adapter performs effects for the engine: exempt from
-        // determinism and effect rules, still accountable for panics.
+        // determinism and effect rules, still accountable for panics, and
+        // a designated Effect consumer for the surface matrix.
         return RoleSpec {
-            determinism: false,
-            effects: false,
             panic: true,
+            surface: true,
+            ..RoleSpec::NONE
         };
     }
     if IO_BOUNDARY.contains(&rel) {
         // Declares the Input/Effect vocabulary: may *name* I/O types,
-        // must still be deterministic.
+        // must still be deterministic, and anchors the surface registry.
         return RoleSpec {
             determinism: true,
-            effects: false,
             panic: true,
+            surface: true,
+            ..RoleSpec::NONE
+        };
+    }
+    if CODEC_BOUNDARY.contains(&rel) {
+        // Full engine contract plus checked arithmetic: these two files
+        // parse adversarial bytes and must never panic on them.
+        return RoleSpec {
+            determinism: true,
+            effects: true,
+            panic: true,
+            surface: true,
+            lock: true,
+            arith: true,
         };
     }
     if rel.starts_with("crates/core/src/") {
@@ -47,25 +68,30 @@ pub fn role_for(rel: &str) -> RoleSpec {
             determinism: true,
             effects: true,
             panic: true,
+            surface: true,
+            lock: true,
+            arith: false,
         };
     }
     if rel.starts_with("crates/quorum/src/") || rel.starts_with("crates/base/src/") {
         // Pure protocol libraries: no real I/O, panic-accountable.
         // `std::thread::scope` for offline availability sweeps is
-        // deliberate, so the D1 set does not apply here.
+        // deliberate, so the D1 set does not apply here. They sit below
+        // the protocol surface, so the P-rules do not apply either.
         return RoleSpec {
-            determinism: false,
             effects: true,
             panic: true,
+            ..RoleSpec::NONE
         };
     }
     if rel.starts_with("crates/simnet/src/") {
         // Host crate: owns clocks, threads, and sockets-if-it-wants-them;
-        // panics in the substrate still take down experiments.
+        // panics in the substrate still take down experiments. Its effect
+        // consumption is delegated to coterie-core's host.rs / driver.rs,
+        // which the surface matrix polices directly.
         return RoleSpec {
-            determinism: false,
-            effects: false,
             panic: true,
+            ..RoleSpec::NONE
         };
     }
     // harness, markov, bench, lint, examples, src (CLI shell): tools.
@@ -115,23 +141,36 @@ mod tests {
     fn engine_gets_all_rules() {
         let r = role_for("crates/core/src/node.rs");
         assert!(r.determinism && r.effects && r.panic);
+        assert!(r.surface && r.lock && !r.arith);
+    }
+
+    #[test]
+    fn codec_boundary_adds_arithmetic_rules() {
+        for rel in [
+            "crates/core/src/engine/codec.rs",
+            "crates/core/src/engine/storage.rs",
+        ] {
+            let r = role_for(rel);
+            assert!(r.arith, "{rel} must carry arith");
+            assert!(r.determinism && r.effects && r.panic && r.surface && r.lock);
+        }
     }
 
     #[test]
     fn io_boundary_may_name_io_but_stays_deterministic() {
         let r = role_for("crates/core/src/engine/io.rs");
-        assert!(r.determinism && !r.effects && r.panic);
+        assert!(r.determinism && !r.effects && r.panic && r.surface);
     }
 
     #[test]
-    fn host_adapter_only_answers_for_panics() {
+    fn host_adapter_answers_for_panics_and_surface() {
         let r = role_for("crates/core/src/host.rs");
         assert_eq!(
             r,
             RoleSpec {
-                determinism: false,
-                effects: false,
-                panic: true
+                panic: true,
+                surface: true,
+                ..RoleSpec::NONE
             }
         );
     }
@@ -159,9 +198,8 @@ mod tests {
         assert_eq!(
             r,
             RoleSpec {
-                determinism: false,
-                effects: false,
-                panic: true
+                panic: true,
+                ..RoleSpec::NONE
             }
         );
     }

@@ -12,6 +12,9 @@ const ALL: RoleSpec = RoleSpec {
     determinism: true,
     effects: true,
     panic: true,
+    surface: true,
+    lock: true,
+    arith: true,
 };
 
 fn fixtures_dir() -> PathBuf {
@@ -37,7 +40,7 @@ fn fixtures_match_goldens() {
         })
         .collect();
     cases.sort();
-    assert!(cases.len() >= 7, "fixture corpus shrank: {cases:?}");
+    assert!(cases.len() >= 13, "fixture corpus shrank: {cases:?}");
 
     let bless = std::env::var_os("BLESS_LINT_FIXTURES").is_some();
     let mut failures = Vec::new();
@@ -65,9 +68,8 @@ fn fixtures_match_goldens() {
     );
 }
 
-/// Violating fixtures must each produce at least one finding; the two
-/// clean-by-design cases are the false-positive corpus and (almost) the
-/// cfg-gated one.
+/// Violating fixtures must each produce at least one finding; the
+/// clean-by-design cases (one negative per rule family) must stay empty.
 #[test]
 fn violation_fixtures_are_nonempty() {
     for name in [
@@ -77,6 +79,9 @@ fn violation_fixtures_are_nonempty() {
         "d2_io.rs",
         "d3_panic.rs",
         "suppression.rs",
+        "p1_surface_wildcard.rs",
+        "p2_lock_leak.rs",
+        "p3_arith_unchecked.rs",
     ] {
         let src = std::fs::read_to_string(fixtures_dir().join(name)).expect("fixture");
         assert!(
@@ -84,6 +89,17 @@ fn violation_fixtures_are_nonempty() {
             "{name} unexpectedly clean"
         );
     }
-    let fp = std::fs::read_to_string(fixtures_dir().join("false_positive.rs")).expect("fixture");
-    assert!(findings_summary(&fp).is_empty(), "false positives fired");
+    for name in [
+        "false_positive.rs",
+        "p1_surface_clean.rs",
+        "p2_lock_fenced.rs",
+        "p3_arith_checked.rs",
+    ] {
+        let src = std::fs::read_to_string(fixtures_dir().join(name)).expect("fixture");
+        assert!(
+            findings_summary(&src).is_empty(),
+            "{name} fired false positives: {}",
+            findings_summary(&src)
+        );
+    }
 }

@@ -16,6 +16,17 @@ pub fn clean(x: Option<u8>) -> u8 {
     let operand = 2u8;
     let rand = operand;
     // Method names on other types: expecting is not .expect(.
-    let expectation = s.len() + r.len();
-    a + b + idref("z").len() as u8 + rand + expectation as u8
+    let expectation = u8::from(s.contains("expect"));
+    // P3 near-misses: widening casts, checked/saturating length math,
+    // literal indexing, and compound assignment are the checked forms
+    // the arith rule asks for.
+    let wide = operand as u64;
+    let total = s.len().saturating_add(r.len()).min(idref("z").len());
+    let first = [a, b][0];
+    let mut acc = a;
+    acc += b;
+    let _ = (wide, total);
+    acc.wrapping_add(first)
+        .wrapping_add(rand)
+        .wrapping_add(expectation)
 }

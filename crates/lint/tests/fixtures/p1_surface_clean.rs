@@ -1,0 +1,20 @@
+// Fixture: P1 negative — exhaustive matches over tracked enums (no `_`),
+// and wildcard arms over *untracked* enums, are both fine.
+pub fn apply(effect: Effect) {
+    match effect {
+        Effect::Send { to, msg } => deliver(to, msg),
+        Effect::SetTimer { id, delay, timer } => arm(id, delay, timer),
+        Effect::CancelTimer(id) => disarm(id),
+        Effect::Persist(delta) => journal(delta),
+        Effect::Output(ev) => surface(ev),
+    }
+}
+
+pub fn local_dispatch(v: Verdict) -> bool {
+    // `Verdict` is not part of the protocol surface; a wildcard here is
+    // ordinary Rust, not a finding.
+    match v {
+        Verdict::Accept => true,
+        _ => false,
+    }
+}

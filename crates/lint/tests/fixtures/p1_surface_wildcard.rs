@@ -1,0 +1,17 @@
+// Fixture: P1 positive — a wildcard `_` arm in a match whose other arms
+// name a tracked protocol enum swallows future variants silently.
+pub fn apply(effect: Effect) {
+    match effect {
+        Effect::Send { to, msg } => deliver(to, msg),
+        Effect::Persist(delta) => journal(delta),
+        _ => {}
+    }
+}
+
+pub fn classify(input: &Input) -> u8 {
+    match input {
+        Input::Boot => 0,
+        Input::Crash => 1,
+        _ => 2,
+    }
+}

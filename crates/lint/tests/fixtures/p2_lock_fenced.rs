@@ -1,0 +1,32 @@
+// Fixture: P2 negative — acquires that pair with a release, a lease
+// fence, or a guarded handoff on every path.
+impl Replica {
+    // Conditional try-acquire (the no-wait refusal path never holds the
+    // lock), lease armed before any early return, release at the end.
+    pub fn acquire_fenced(&mut self, ctx: &mut Ctx, op: OpId) {
+        if !self.vol.lock.try_exclusive(op) {
+            return;
+        }
+        self.arm_lock_lease(ctx, op);
+        if self.busy {
+            return;
+        }
+        self.vol.lock.release(op);
+    }
+
+    // A handoff under an armed lease is the PR-6 pipelined pattern.
+    pub fn leased_handoff(&mut self, ctx: &mut Ctx, op: OpId, to: NodeId) {
+        self.arm_lock_lease(ctx, op);
+        self.vol.lock.transfer_exclusive(op, to);
+    }
+
+    // Shared acquire, released on both paths.
+    pub fn read_locked(&mut self, op: OpId) -> bool {
+        if !self.vol.lock.try_shared(op) {
+            return false;
+        }
+        let ok = self.vol.ready;
+        self.vol.lock.release(op);
+        ok
+    }
+}

@@ -1,0 +1,25 @@
+// Fixture: P2 positives — lock acquires that can leak.
+impl Replica {
+    // lock-1: the acquire has no paired release/handoff/lease anywhere
+    // in the function body.
+    pub fn grab_and_forget(&mut self, op: OpId) {
+        self.vol.lock.force_exclusive(op);
+        self.vol.dirty = true;
+    }
+
+    // lock-3: unconditional acquire, then an early return on the refusal
+    // path before the release — the exclusive lock stays wedged.
+    pub fn refuse_leaks(&mut self, op: OpId) {
+        self.vol.lock.force_exclusive(op);
+        if self.busy {
+            return;
+        }
+        self.vol.lock.release(op);
+    }
+
+    // lock-2: an exclusive handoff with no lease fence in sight; if the
+    // transferee dies mid-flight nobody reclaims the lock.
+    pub fn bare_handoff(&mut self, op: OpId, to: NodeId) {
+        self.vol.lock.transfer_exclusive(op, to);
+    }
+}

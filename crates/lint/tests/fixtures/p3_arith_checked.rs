@@ -1,0 +1,9 @@
+// Fixture: P3 negative — the checked forms of the same parsing code.
+pub fn parse_record(buf: &[u8], pos: usize, len: usize) -> Option<u8> {
+    let end = pos.checked_add(len)?;
+    let tag = *buf.get(pos)?;
+    let short = u32::try_from(len).ok()?;
+    let window = buf.get(pos..end)?;
+    let tail = u8::try_from(window.len().saturating_sub(1)).unwrap_or(0);
+    Some(tag ^ tail ^ u8::try_from(short % 251).unwrap_or(0))
+}

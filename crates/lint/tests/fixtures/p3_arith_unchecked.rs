@@ -1,0 +1,11 @@
+// Fixture: P3 positives — unchecked arithmetic in byte-parsing code.
+pub fn parse_record(buf: &[u8], pos: usize, len: usize) -> u8 {
+    // Raw add on an offset and a length: wraps on corrupt input.
+    let end = pos + len;
+    // Non-literal indexing: panics instead of degrading to Undecodable.
+    let tag = buf[pos];
+    // Narrowing cast: a 33-bit length silently becomes a small u32.
+    let short = len as u32;
+    let window = &buf[pos..end];
+    tag ^ (short as u8) ^ window.len() as u8
+}

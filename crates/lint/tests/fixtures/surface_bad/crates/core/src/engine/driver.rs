@@ -1,0 +1,11 @@
+// Mini-tree fixture: consumer whose match misses the `Ghost` variant.
+pub fn emit(to: NodeId, msg: Msg, delta: Box<DurableDelta>) -> Vec<Effect> {
+    vec![Effect::Send { to, msg }, Effect::Persist(delta)]
+}
+
+pub fn consume(effect: Effect) {
+    match effect {
+        Effect::Send { to, msg } => deliver(to, msg),
+        Effect::Persist(delta) => journal(delta),
+    }
+}

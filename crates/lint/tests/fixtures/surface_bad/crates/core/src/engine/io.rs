@@ -1,0 +1,7 @@
+// Mini-tree fixture: `Ghost` is dead (never constructed), never matched,
+// and missing from both designated consumers.
+pub enum Effect {
+    Send { to: NodeId, msg: Msg },
+    Persist(Box<DurableDelta>),
+    Ghost(u8),
+}

@@ -1,0 +1,6 @@
+// Mini-tree fixture: a designated `Effect` consumer with no match at all.
+pub fn run(queue: Vec<Effect>) {
+    for _effect in queue {
+        log("dropped an effect on the floor");
+    }
+}

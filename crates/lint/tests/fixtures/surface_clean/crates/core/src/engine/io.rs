@@ -1,0 +1,5 @@
+// Mini-tree fixture: every variant constructed, matched, and consumed.
+pub enum Effect {
+    Send { to: NodeId, msg: Msg },
+    Persist(Box<DurableDelta>),
+}

@@ -1,0 +1,9 @@
+// Mini-tree fixture: exhaustive threaded-host consumer.
+pub fn run(queue: Vec<Effect>) {
+    for effect in queue {
+        match effect {
+            Effect::Send { to, msg } => deliver(to, msg),
+            Effect::Persist(delta) => journal(delta),
+        }
+    }
+}

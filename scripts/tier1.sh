@@ -23,8 +23,15 @@ cargo test -q --workspace
 echo "==> cargo bench --no-run"
 cargo bench --no-run --workspace
 
-echo "==> coterie-lint --deny (determinism & effect discipline)"
+echo "==> coterie-lint --deny (determinism, surface, lock, arith, baseline)"
+# All rule families: D1-D3 token rules plus the flow-aware P1 surface
+# matrix, P2 lock discipline, P3 codec arithmetic, and the P4 ratcheted
+# allow baseline (crates/lint/baseline.json). The JSON report is left in
+# target/ so PRs can diff per-rule finding and allow counts.
 cargo run --release -p coterie-lint -- --deny --report target/lint-report.json
+# The explain text doubles as the rules' documentation; smoke it so a
+# renamed rule can't silently orphan its docs.
+cargo run --release -p coterie-lint -- --explain surface >/dev/null
 
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
