@@ -14,11 +14,21 @@
 //! bench_throughput --duration-ms N # per-cell window (default 1500)
 //! bench_throughput --smoke         # bounded sim check for tier1.sh:
 //!                                  # nonzero committed ops, zero violations
+//! bench_throughput --gate [FILE]   # re-run the write-heavy *sim* cells
+//!                                  # (tracing disabled) and fail if any
+//!                                  # regresses >5% vs the JSON artifact
 //! ```
+//!
+//! The gate leans on determinism: sim cells run in simulated time, so on
+//! unchanged code they reproduce the artifact numbers exactly — the 5%
+//! tolerance absorbs intentional protocol changes, not machine noise. It
+//! is tier1's tracing-overhead check: the engine always stamps its trace
+//! clocks, so a slowdown from the (disabled, no-op-sink) tracing layer
+//! would show up here.
 
 use std::sync::Arc;
 
-use coterie_bench::load::{run_sim, run_threaded, LoadReport, LoadSpec};
+use coterie_bench::load::{run_sim, run_threaded, LoadReport, LoadSpec, MetricsSnapshot};
 use coterie_core::ProtocolConfig;
 use coterie_quorum::{CoterieRule, GridCoterie, MajorityCoterie};
 use coterie_simnet::SimDuration;
@@ -95,6 +105,80 @@ fn smoke() -> i32 {
     }
 }
 
+/// Pulls `sim_ops_per_sec` for a named cell out of the JSON artifact.
+/// Hand-rolled extraction: the vendored serde stand-in only serializes,
+/// and the two fields live in a fixed, self-generated layout.
+fn baseline_sim_ops(doc: &str, name: &str) -> Option<f64> {
+    let needle = format!("\"{name}\"");
+    let at = doc.find(&needle)?;
+    let tail = &doc[at..];
+    let key = "\"sim_ops_per_sec\":";
+    let k = tail.find(key)?;
+    let rest = tail[k + key.len()..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Tracing-overhead / regression gate: re-runs the write-heavy sim cells
+/// (deterministic simulated time, tracing disabled) and compares against
+/// the checked-in artifact. Fails on any >5% throughput regression;
+/// improvements pass.
+fn gate(baseline_path: &str, duration_ms: u64) -> i32 {
+    let doc = match std::fs::read_to_string(baseline_path) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("gate: cannot read {baseline_path}: {e}");
+            return 1;
+        }
+    };
+    let mut failures = 0;
+    for (rule_name, rule, n) in rules() {
+        for &(feature, batch, window, gc) in LADDER {
+            let name = format!("throughput/{rule_name}/{n}/write-heavy/{feature}");
+            let Some(expected) = baseline_sim_ops(&doc, &name) else {
+                eprintln!("gate: {name} missing from {baseline_path}");
+                failures += 1;
+                continue;
+            };
+            let config = configure(rule.clone(), n, batch, window, gc);
+            let spec = LoadSpec {
+                clients: 32,
+                read_permille: 500,
+                duration_ms,
+                seed: 0xBEEF ^ (n as u64) ^ 500,
+            };
+            let sim = run_sim(config, n, &spec);
+            let ratio = if expected > 0.0 {
+                sim.ops_per_sec / expected
+            } else {
+                1.0
+            };
+            let ok = ratio >= 0.95 && sim.violations.is_empty();
+            println!(
+                "gate {name}: {:.0} ops/s vs baseline {expected:.0} ({:+.1}%){}",
+                sim.ops_per_sec,
+                (ratio - 1.0) * 100.0,
+                if ok { "" } else { "  REGRESSION" }
+            );
+            for v in &sim.violations {
+                eprintln!("  VIOLATION: {v}");
+            }
+            if !ok {
+                failures += 1;
+            }
+        }
+    }
+    if failures == 0 {
+        println!("throughput gate: ok (no write-heavy sim cell regressed >5%)");
+        0
+    } else {
+        println!("throughput gate: FAILED ({failures} cell(s))");
+        1
+    }
+}
+
 /// One matrix cell as landed in the JSON artifact.
 #[derive(serde::Serialize)]
 struct Cell {
@@ -110,6 +194,8 @@ struct Cell {
     sim_p50_us: u64,
     sim_p99_us: u64,
     violations: usize,
+    threaded_metrics: MetricsSnapshot,
+    sim_metrics: MetricsSnapshot,
 }
 
 /// The whole artifact, shaped like the other BENCH_*.json files.
@@ -134,6 +220,8 @@ fn cell_json(name: &str, threaded: &LoadReport, sim: &LoadReport) -> Cell {
         sim_p50_us: sim.p50_us,
         sim_p99_us: sim.p99_us,
         violations: threaded.violations.len() + sim.violations.len(),
+        threaded_metrics: threaded.metrics.clone(),
+        sim_metrics: sim.metrics.clone(),
     }
 }
 
@@ -146,10 +234,19 @@ fn main() {
     let mut out = String::from("BENCH_protocol_throughput.json");
     let mut duration_ms = 1_500u64;
     let mut smoke_mode = false;
+    let mut gate_mode = false;
+    let mut gate_baseline = String::from("BENCH_protocol_throughput.json");
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--smoke" => smoke_mode = true,
+            "--gate" => {
+                gate_mode = true;
+                if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+                    i += 1;
+                    gate_baseline = args[i].clone();
+                }
+            }
             "--out" if i + 1 < args.len() => {
                 i += 1;
                 out = args[i].clone();
@@ -167,6 +264,9 @@ fn main() {
     }
     if smoke_mode {
         std::process::exit(smoke());
+    }
+    if gate_mode {
+        std::process::exit(gate(&gate_baseline, duration_ms));
     }
 
     let sync_dir = std::env::temp_dir();

@@ -27,7 +27,8 @@ use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 use coterie_core::{
-    ClientRequest, JournaledNode, PartialWrite, ProtocolConfig, ProtocolEvent, StepDriver,
+    ClientRequest, Histogram, JournaledNode, MetricsRegistry, PartialWrite, ProtocolConfig,
+    ProtocolEvent, StepDriver,
 };
 use coterie_harness::checker::check_run;
 use coterie_harness::explore::cluster_invariant_violations;
@@ -88,6 +89,48 @@ pub struct LoadReport {
     pub flushes: u64,
     /// Consistency violations found after the run (must be empty).
     pub violations: Vec<String>,
+    /// Cluster-wide protocol metrics: every engine counter merged across
+    /// nodes, plus the host histograms (notably `journal_flush_us`).
+    pub metrics: MetricsSnapshot,
+}
+
+/// Serializable snapshot of a [`MetricsRegistry`]: counters verbatim,
+/// histograms reduced to their summary statistics. Keys come from
+/// [`coterie_core::keys`], so snapshots diff cleanly across runs.
+#[derive(Clone, Debug)]
+pub struct MetricsSnapshot(pub MetricsRegistry);
+
+impl serde::Serialize for MetricsSnapshot {
+    fn serialize_value(&self) -> serde::Value {
+        use serde::Value;
+        let counters = self
+            .0
+            .counters()
+            .map(|(k, v)| (k.to_string(), Value::UInt(u128::from(v))))
+            .collect();
+        let hists = self
+            .0
+            .histograms()
+            .map(|(k, h)| {
+                (
+                    k.to_string(),
+                    Value::Object(vec![
+                        ("count".to_string(), Value::UInt(u128::from(h.count()))),
+                        ("mean".to_string(), Value::Float(h.mean())),
+                        ("min".to_string(), Value::UInt(u128::from(h.min()))),
+                        ("max".to_string(), Value::UInt(u128::from(h.max()))),
+                        ("p50".to_string(), Value::UInt(u128::from(h.quantile(0.5)))),
+                        ("p90".to_string(), Value::UInt(u128::from(h.quantile(0.9)))),
+                        ("p99".to_string(), Value::UInt(u128::from(h.quantile(0.99)))),
+                    ]),
+                )
+            })
+            .collect();
+        Value::Object(vec![
+            ("counters".to_string(), Value::Object(counters)),
+            ("histograms".to_string(), Value::Object(hists)),
+        ])
+    }
 }
 
 /// Minimal deterministic stream for workload choices (read-vs-write, page
@@ -112,38 +155,39 @@ struct Outstanding {
     is_write: bool,
 }
 
-/// Accumulates completions and turns them into the report percentiles.
+/// Accumulates completions into log-linear [`Histogram`]s (the same
+/// implementation behind every other latency figure in the workspace —
+/// quantiles are bucket upper bounds, within ~6.25% of exact).
 #[derive(Default)]
 struct Metrics {
     committed: u64,
     reads: u64,
     writes: u64,
     gave_up: u64,
-    lat_us: Vec<u64>,
-    write_lat_us: Vec<u64>,
+    lat: Histogram,
+    write_lat: Histogram,
 }
 
 impl Metrics {
     fn complete(&mut self, op: &Outstanding, done_us: u64) {
         let lat = done_us.saturating_sub(op.issued_us);
         self.committed += 1;
-        self.lat_us.push(lat);
+        self.lat.record(lat);
         if op.is_write {
             self.writes += 1;
-            self.write_lat_us.push(lat);
+            self.write_lat.record(lat);
         } else {
             self.reads += 1;
         }
     }
 
     fn into_report(
-        mut self,
+        self,
         elapsed_secs: f64,
         flushes: u64,
         violations: Vec<String>,
+        cluster: MetricsRegistry,
     ) -> LoadReport {
-        self.lat_us.sort_unstable();
-        self.write_lat_us.sort_unstable();
         LoadReport {
             committed: self.committed,
             reads: self.reads,
@@ -151,22 +195,15 @@ impl Metrics {
             gave_up: self.gave_up,
             elapsed_secs,
             ops_per_sec: self.committed as f64 / elapsed_secs.max(1e-9),
-            p50_us: percentile(&self.lat_us, 50),
-            p99_us: percentile(&self.lat_us, 99),
-            write_p50_us: percentile(&self.write_lat_us, 50),
-            write_p99_us: percentile(&self.write_lat_us, 99),
+            p50_us: self.lat.quantile(0.5),
+            p99_us: self.lat.quantile(0.99),
+            write_p50_us: self.write_lat.quantile(0.5),
+            write_p99_us: self.write_lat.quantile(0.99),
             flushes,
             violations,
+            metrics: MetricsSnapshot(cluster),
         }
     }
-}
-
-fn percentile(sorted: &[u64], p: usize) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let idx = (sorted.len() * p).div_ceil(100).saturating_sub(1);
-    sorted[idx.min(sorted.len() - 1)]
 }
 
 /// Builds the next request for `client`: a write (to node 0) or a read
@@ -269,7 +306,12 @@ pub fn run_sim(config: ProtocolConfig, n: usize, spec: &LoadSpec) -> LoadReport 
         violations.push(format!("1SR violation: {v:?}"));
     }
     let flushes: u64 = (0..n).map(|i| driver.flushes(NodeId(i as u32))).sum();
-    metrics.into_report(spec.duration_ms as f64 / 1000.0, flushes, violations)
+    metrics.into_report(
+        spec.duration_ms as f64 / 1000.0,
+        flushes,
+        violations,
+        driver.metrics(),
+    )
 }
 
 /// Matches new driver outputs against open operations; counts only
@@ -412,12 +454,21 @@ pub fn run_threaded(
     let nodes = runtime.shutdown();
 
     let flushes: u64 = nodes.iter().map(|node| node.flushes).sum();
+    let mut cluster = MetricsRegistry::new();
+    for node in &nodes {
+        cluster.merge(&node.metrics());
+    }
     let mut violations = durable_invariant_violations(&nodes);
     let check = check_run(&issued, &events, config.n_pages);
     for v in check.violations {
         violations.push(format!("1SR violation: {v:?}"));
     }
-    metrics.into_report(spec.duration_ms as f64 / 1000.0, flushes, violations)
+    metrics.into_report(
+        spec.duration_ms as f64 / 1000.0,
+        flushes,
+        violations,
+        cluster,
+    )
 }
 
 /// Classifies an output event as a completion of an open op. Returns the

@@ -5,6 +5,12 @@
 //! randomness comes from the engine's [`Rng64`], and timer ids come from
 //! the node's own monotonic counter. Protocol handlers are substrate-blind
 //! — they only ever see this struct.
+//!
+//! The context also carries the tracing state (see
+//! [`trace`](super::trace)): a per-node sequence counter, the Lamport
+//! causal counter, and the step's [`TraceSink`]. Both counters advance
+//! identically whether the sink records or discards, so attaching a real
+//! sink never changes a protocol-visible byte.
 
 use coterie_base::{SimDuration, SimTime, TimerId};
 use coterie_quorum::NodeId;
@@ -14,6 +20,7 @@ use crate::node::Timer;
 
 use super::io::Effect;
 use super::rng::Rng64;
+use super::trace::{TraceEvent, TraceRecord, TraceSink};
 
 /// The context threaded through every protocol handler during one
 /// [`ReplicaNode::step`](crate::node::ReplicaNode::step).
@@ -23,6 +30,9 @@ pub struct NodeCtx<'a> {
     pub(crate) rng: &'a mut Rng64,
     pub(crate) effects: &'a mut Vec<Effect>,
     pub(crate) timer_seq: &'a mut u64,
+    pub(crate) lamport: &'a mut u64,
+    pub(crate) trace_seq: &'a mut u64,
+    pub(crate) sink: &'a mut dyn TraceSink,
 }
 
 impl<'a> NodeCtx<'a> {
@@ -38,9 +48,17 @@ impl<'a> NodeCtx<'a> {
         self.now
     }
 
-    /// Requests delivery of `msg` to `to` (or a `CallFailed` bounce).
+    /// Requests delivery of `msg` to `to` (or a `CallFailed` bounce). The
+    /// send ticks the Lamport counter and stamps the effect with it.
     pub fn send(&mut self, to: NodeId, msg: Msg) {
-        self.effects.push(Effect::Send { to, msg });
+        *self.lamport += 1;
+        let class = msg.class();
+        self.effects.push(Effect::Send {
+            to,
+            msg,
+            lamport: *self.lamport,
+        });
+        self.trace(TraceEvent::MsgSend { to, class });
     }
 
     /// Requests delivery of `msg` to every node in `targets`.
@@ -73,5 +91,28 @@ impl<'a> NodeCtx<'a> {
     /// RNG; `n` must be positive.
     pub fn rand_below(&mut self, n: u64) -> u64 {
         self.rng.below(n)
+    }
+
+    /// Merges a remote Lamport stamp into the local counter
+    /// (`max(local, remote) + 1`) — called once per delivered message,
+    /// before the handler runs, so every event the delivery causes is
+    /// ordered after the send.
+    pub(crate) fn observe_lamport(&mut self, remote: u64) {
+        *self.lamport = (*self.lamport).max(remote) + 1;
+    }
+
+    /// Records a trace event, stamped with the step time, the per-node
+    /// sequence counter (ticked here), and the current Lamport value. The
+    /// counters advance even under a [`NoopSink`](super::trace::NoopSink),
+    /// keeping enabled and disabled runs byte-identical.
+    pub(crate) fn trace(&mut self, event: TraceEvent) {
+        *self.trace_seq += 1;
+        self.sink.record(TraceRecord {
+            at: self.now,
+            node: self.me,
+            seq: *self.trace_seq,
+            lamport: *self.lamport,
+            event,
+        });
     }
 }

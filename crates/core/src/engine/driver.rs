@@ -22,7 +22,9 @@ use crate::node::{Durable, ReplicaNode, Timer};
 
 use super::failpoint::{sites, Failpoints, FaultKind, FiredFault};
 use super::io::{Effect, Input};
+use super::metrics::{keys, MetricsRegistry};
 use super::storage::{DurableDelta, FramedJournal, FramedReplay, StableStorage};
+use super::trace::{ReplayClass, TraceEvent, TraceRecord, TraceRing, TraceSink};
 
 /// An in-flight protocol message.
 #[derive(Clone, Debug)]
@@ -33,6 +35,8 @@ pub struct Envelope {
     pub to: NodeId,
     /// The message.
     pub msg: Msg,
+    /// The sender's Lamport stamp (trace metadata carried on the wire).
+    pub lamport: u64,
 }
 
 /// An armed (not yet fired) timer.
@@ -84,6 +88,9 @@ pub struct StepDriver {
     gc_deferred: Vec<Vec<Effect>>,
     /// Per-node count of journal flushes (header commits) performed.
     flushes: Vec<u64>,
+    /// Per-node flight recorders; `None` until
+    /// [`enable_tracing`](StepDriver::enable_tracing).
+    tracing: Option<Vec<TraceRing>>,
 }
 
 impl StepDriver {
@@ -108,6 +115,7 @@ impl StepDriver {
             gc_pending: vec![Vec::new(); n],
             gc_deferred: vec![Vec::new(); n],
             flushes: vec![0; n],
+            tracing: None,
         };
         for id in 0..n as u32 {
             driver.step_node(NodeId(id), Input::Boot);
@@ -240,6 +248,7 @@ impl StepDriver {
                 Input::Deliver {
                     from: env.from,
                     msg: env.msg,
+                    lamport: env.lamport,
                 },
             );
         }
@@ -290,6 +299,12 @@ impl StepDriver {
         self.down[node.0 as usize] = false;
         let i = node.0 as usize;
         let replay = self.journals[i].replay_checked(&self.config);
+        let class = match &replay.verdict {
+            super::storage::ReplayVerdict::Clean => ReplayClass::Clean,
+            super::storage::ReplayVerdict::TornTail { .. } => ReplayClass::TornTail,
+            super::storage::ReplayVerdict::Quarantined { .. } => ReplayClass::Quarantined,
+        };
+        self.trace_host(node, TraceEvent::JournalReplay { class });
         if replay.verdict.is_bootable() {
             self.journals[i].truncate_tail();
             self.nodes[i].install_durable(replay.durable);
@@ -347,19 +362,23 @@ impl StepDriver {
     }
 
     fn step_node(&mut self, node: NodeId, input: Input) {
-        let effects = self.nodes[node.0 as usize].step(self.now, input);
         let i = node.0 as usize;
+        let effects = match self.tracing.as_mut() {
+            Some(rings) => self.nodes[i].step_traced(self.now, input, &mut rings[i]),
+            None => self.nodes[i].step(self.now, input),
+        };
         let group = self.config.group_commit_max_batch > 1;
         for effect in effects {
             match effect {
-                Effect::Send { to, msg } => {
+                Effect::Send { to, msg, lamport } => {
                     if group && !self.gc_pending[i].is_empty() {
-                        self.gc_deferred[i].push(Effect::Send { to, msg });
+                        self.gc_deferred[i].push(Effect::Send { to, msg, lamport });
                     } else {
                         self.messages.push(Envelope {
                             from: node,
                             to,
                             msg,
+                            lamport,
                         });
                     }
                 }
@@ -415,7 +434,8 @@ impl StepDriver {
         let i = node.0 as usize;
         if !self.gc_pending[i].is_empty() {
             let batch = std::mem::take(&mut self.gc_pending[i]);
-            let ok = match self.failpoints[i].check(sites::JOURNAL_APPEND) {
+            let fault = self.failpoints[i].check(sites::JOURNAL_APPEND);
+            let ok = match fault {
                 None => {
                     self.journals[i].append_batch(&batch);
                     true
@@ -439,6 +459,17 @@ impl StepDriver {
                     true
                 }
             };
+            if let Some(kind) = fault {
+                self.trace_host(node, TraceEvent::FailpointTrip { kind });
+            }
+            if ok {
+                self.trace_host(
+                    node,
+                    TraceEvent::JournalFlush {
+                        records: batch.len() as u64,
+                    },
+                );
+            }
             if !ok {
                 // Nothing covered by the lost batch was acknowledged; the
                 // node fail-stops exactly like a write-through append
@@ -453,10 +484,11 @@ impl StepDriver {
         }
         for effect in std::mem::take(&mut self.gc_deferred[i]) {
             match effect {
-                Effect::Send { to, msg } => self.messages.push(Envelope {
+                Effect::Send { to, msg, lamport } => self.messages.push(Envelope {
                     from: node,
                     to,
                     msg,
+                    lamport,
                 }),
                 Effect::Output(ev) => self.outputs.push((self.now, node, ev)),
                 // buffer_step defers only Send/Output; timers and persists
@@ -492,6 +524,67 @@ impl StepDriver {
         self.flushes[node.0 as usize]
     }
 
+    /// Attaches a flight recorder of capacity `cap` to every node. Every
+    /// engine transition and host-level journal event from here on is
+    /// retained (bounded, oldest dropped first). Tracing is observational:
+    /// effects, journals, and digests are byte-identical with or without
+    /// it.
+    pub fn enable_tracing(&mut self, cap: usize) {
+        self.tracing = Some(vec![TraceRing::new(cap); self.nodes.len()]);
+    }
+
+    /// True once [`enable_tracing`](StepDriver::enable_tracing) ran.
+    pub fn tracing_enabled(&self) -> bool {
+        self.tracing.is_some()
+    }
+
+    /// `node`'s flight recorder, if tracing is enabled.
+    pub fn trace_ring(&self, node: NodeId) -> Option<&TraceRing> {
+        self.tracing.as_ref().map(|r| &r[node.0 as usize])
+    }
+
+    /// All retained records, causally merged across nodes (empty when
+    /// tracing is disabled).
+    pub fn merged_trace(&self) -> Vec<TraceRecord> {
+        match &self.tracing {
+            Some(rings) => {
+                let refs: Vec<&TraceRing> = rings.iter().collect();
+                super::trace::causal_merge(&refs)
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Stamps and records a host-level event (journal append/flush/replay,
+    /// failpoint trip) against `node`'s recorder. No-op when tracing is
+    /// disabled — host events, unlike engine events, do not consume
+    /// sequence numbers in untraced runs, which is fine because nothing
+    /// observes them there.
+    fn trace_host(&mut self, node: NodeId, event: TraceEvent) {
+        let i = node.0 as usize;
+        if let Some(rings) = self.tracing.as_mut() {
+            let (seq, lamport) = self.nodes[i].trace_stamp();
+            rings[i].record(TraceRecord {
+                at: self.now,
+                node,
+                seq,
+                lamport,
+                event,
+            });
+        }
+    }
+
+    /// A unified snapshot of the cluster's metrics: every node's registry
+    /// merged, plus the driver's own journal-flush counter.
+    pub fn metrics(&self) -> MetricsRegistry {
+        let mut merged = MetricsRegistry::new();
+        for node in &self.nodes {
+            merged.merge(&node.stats.registry);
+        }
+        merged.add(keys::JOURNAL_FLUSHES, self.flushes.iter().sum());
+        merged
+    }
+
     /// Deltas currently coalescing in `node`'s group-commit buffer.
     pub fn gc_buffered(&self, node: NodeId) -> usize {
         self.gc_pending[node.0 as usize].len()
@@ -506,13 +599,28 @@ impl StepDriver {
         match self.failpoints[i].check(sites::JOURNAL_APPEND) {
             None => {
                 self.journals[i].append_delta(delta);
+                self.trace_host(node, TraceEvent::JournalAppend { records: 1 });
                 true
             }
-            Some(FaultKind::AppendFail) => false,
+            Some(FaultKind::AppendFail) => {
+                self.trace_host(
+                    node,
+                    TraceEvent::FailpointTrip {
+                        kind: FaultKind::AppendFail,
+                    },
+                );
+                false
+            }
             Some(FaultKind::TornWrite) => {
                 let record_len = super::codec::encode_delta(delta).len() + 8;
                 let keep = self.failpoints[i].draw(record_len as u64) as usize;
                 self.journals[i].append_torn(delta, keep);
+                self.trace_host(
+                    node,
+                    TraceEvent::FailpointTrip {
+                        kind: FaultKind::TornWrite,
+                    },
+                );
                 false
             }
             Some(FaultKind::BitFlip) => {
@@ -521,6 +629,13 @@ impl StepDriver {
                 let byte = self.failpoints[i].draw(len) as usize;
                 let bit = self.failpoints[i].draw(8) as u8;
                 self.journals[i].flip_bit(byte, bit);
+                self.trace_host(
+                    node,
+                    TraceEvent::FailpointTrip {
+                        kind: FaultKind::BitFlip,
+                    },
+                );
+                self.trace_host(node, TraceEvent::JournalAppend { records: 1 });
                 true
             }
         }

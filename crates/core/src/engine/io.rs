@@ -37,6 +37,12 @@ pub enum Input {
         from: NodeId,
         /// The message body.
         msg: Msg,
+        /// The sender's Lamport stamp, carried on the wire from the
+        /// originating [`Effect::Send`]; the receiver merges it into its
+        /// own causal counter (`max(local, remote) + 1`). Purely
+        /// observational: it orders trace records and never feeds protocol
+        /// decisions, durable state, or digests.
+        lamport: u64,
     },
     /// A previously issued [`Effect::Send`] definitively failed: the callee
     /// is down or unreachable. Carries the original message so the engine
@@ -64,6 +70,10 @@ pub enum Effect {
         to: NodeId,
         /// Message body.
         msg: Msg,
+        /// The sender's Lamport stamp at send time (ticked per send).
+        /// Hosts carry it with the message and hand it back through
+        /// [`Input::Deliver`]; it is trace metadata, not protocol state.
+        lamport: u64,
     },
     /// Arm timer `id` to fire [`Input::TimerFired`]`(timer)` after `delay`,
     /// unless canceled first. Ids are unique per node for the lifetime of

@@ -34,9 +34,11 @@ pub mod ctx;
 pub mod driver;
 pub mod failpoint;
 pub mod io;
+pub mod metrics;
 pub mod rng;
 pub mod step;
 pub mod storage;
+pub mod trace;
 
 pub use codec::{crc32, decode_delta, encode_delta, DecodeError};
 pub use coterie_base::{SimDuration, SimTime, TimerId};
@@ -44,10 +46,15 @@ pub use ctx::NodeCtx;
 pub use driver::{DriverEvent, StepDriver};
 pub use failpoint::{sites, Failpoints, FaultKind, FiredFault};
 pub use io::{Effect, Input};
+pub use metrics::{keys, Histogram, MetricsRegistry};
 pub use rng::Rng64;
 pub use storage::{
     DurableDelta, FramedJournal, FramedReplay, MemJournal, QuarantineReason, ReplayVerdict,
     StableStorage,
+};
+pub use trace::{
+    causal_merge, render_jsonl, NoopSink, ReplayClass, TraceEvent, TraceRecord, TraceRing,
+    TraceSink,
 };
 
 #[allow(unused_imports)] // doc links

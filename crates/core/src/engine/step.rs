@@ -13,7 +13,9 @@ use crate::node::{ReplicaNode, Timer, Volatile};
 
 use super::ctx::NodeCtx;
 use super::io::{Effect, Input};
+use super::metrics::keys;
 use super::storage::DurableDelta;
+use super::trace::{NoopSink, TraceEvent, TraceSink};
 
 impl ReplicaNode {
     /// Advances the state machine by one input at time `now`, returning the
@@ -23,11 +25,28 @@ impl ReplicaNode {
     /// [`Effect::Persist`] describing the change; hosts that journal must
     /// make it stable before acting on the effects after it.
     pub fn step(&mut self, now: SimTime, input: Input) -> Vec<Effect> {
+        let mut sink = NoopSink;
+        self.step_traced(now, input, &mut sink)
+    }
+
+    /// [`step`](ReplicaNode::step) with an attached [`TraceSink`]: every
+    /// protocol transition the step performs is reported to `sink` as a
+    /// stamped [`TraceEvent`]. Tracing is purely
+    /// observational — the returned effects, durable deltas, and digests
+    /// are byte-identical to an untraced step.
+    pub fn step_traced(
+        &mut self,
+        now: SimTime,
+        input: Input,
+        sink: &mut dyn TraceSink,
+    ) -> Vec<Effect> {
         let mut effects = Vec::new();
         // Move the engine-owned substrate state into locals so the context
         // can borrow them while protocol handlers borrow `self`.
         let mut rng = self.rng;
         let mut timer_seq = self.timer_seq;
+        let mut lamport = self.lamport;
+        let mut trace_seq = self.trace_seq;
         {
             let mut ctx = NodeCtx {
                 me: self.me,
@@ -35,11 +54,16 @@ impl ReplicaNode {
                 rng: &mut rng,
                 effects: &mut effects,
                 timer_seq: &mut timer_seq,
+                lamport: &mut lamport,
+                trace_seq: &mut trace_seq,
+                sink,
             };
             self.dispatch(&mut ctx, input);
         }
         self.rng = rng;
         self.timer_seq = timer_seq;
+        self.lamport = lamport;
+        self.trace_seq = trace_seq;
 
         if let Some(delta) = DurableDelta::diff(&self.shadow, &self.durable) {
             delta.apply(&mut self.shadow);
@@ -57,7 +81,10 @@ impl ReplicaNode {
             Input::Boot => self.handle_boot(ctx),
             Input::BootQuarantined => self.handle_boot_quarantined(ctx),
             Input::Crash => self.vol = Volatile::default(),
-            Input::Deliver { from, msg } => self.handle_message(ctx, from, msg),
+            Input::Deliver { from, msg, lamport } => {
+                ctx.observe_lamport(lamport);
+                self.handle_message(ctx, from, msg)
+            }
             Input::CallFailed { to, msg } => self.handle_call_failed(ctx, to, msg),
             Input::TimerFired(timer) => self.handle_timer(ctx, timer),
             Input::External(request) => self.start_client_request(ctx, request, 0),
@@ -86,7 +113,9 @@ impl ReplicaNode {
     }
 
     fn handle_message(&mut self, ctx: &mut NodeCtx<'_>, from: coterie_quorum::NodeId, msg: Msg) {
-        *self.stats.msgs_in.entry(msg.class()).or_insert(0) += 1;
+        let class = msg.class();
+        self.stats.registry.inc(keys::msgs_in(class));
+        ctx.trace(TraceEvent::MsgRecv { from, class });
         match msg {
             Msg::WriteReq { op } => self.srv_write_req(ctx, from, op),
             Msg::ReadReq { op } => self.srv_read_req(ctx, from, op),
@@ -121,7 +150,9 @@ impl ReplicaNode {
     }
 
     fn handle_call_failed(&mut self, ctx: &mut NodeCtx<'_>, to: coterie_quorum::NodeId, msg: Msg) {
-        *self.stats.msgs_bounced.entry(msg.class()).or_insert(0) += 1;
+        let class = msg.class();
+        self.stats.registry.inc(keys::msgs_bounced(class));
+        ctx.trace(TraceEvent::MsgBounce { to, class });
         match msg {
             Msg::WriteReq { op } => self.on_write_peer_failed(ctx, op, to),
             Msg::ReadReq { op } => self.on_read_peer_failed(ctx, op, to),

@@ -15,6 +15,8 @@
 
 use crate::classify::Classified;
 use crate::config::Mode;
+use crate::engine::metrics::keys;
+use crate::engine::trace::TraceEvent;
 use crate::msg::{Action, Msg, OpId, StateTuple};
 use crate::node::{NodeCtx, ReplicaNode, Timer};
 use coterie_base::{SimDuration, TimerId};
@@ -111,6 +113,10 @@ impl ReplicaNode {
     /// `CheckEpoch`: poll every replica.
     pub(crate) fn start_epoch_check(&mut self, ctx: &mut NodeCtx<'_>) {
         let op = self.next_op();
+        ctx.trace(TraceEvent::EpochCheckStart {
+            op,
+            enumber: self.durable.enumber,
+        });
         self.vol.epoch_check_active = true;
         self.vol.last_epoch_check_seen = Some(ctx.now());
         let all = NodeSet::from_iter(self.all_nodes());
@@ -242,6 +248,7 @@ impl ReplicaNode {
             action: action.clone(),
             timer,
         };
+        ctx.trace(TraceEvent::PrepareIssued { op });
         for &node in &new_epoch {
             ctx.send(
                 node,
@@ -293,7 +300,7 @@ impl ReplicaNode {
                 },
             );
         }
-        self.stats.epoch_changes += 1;
+        self.stats.registry.inc(keys::EPOCH_CHANGES);
         self.finish_epoch_check(ctx, op);
     }
 

@@ -41,9 +41,23 @@ use coterie_quorum::NodeId;
 use coterie_simnet::{Application, Ctx};
 
 use crate::engine::io::{Effect, Input};
+use crate::engine::metrics::{keys, MetricsRegistry};
 use crate::engine::storage::{FramedJournal, GroupCommitBuffer};
+use crate::engine::trace::{ReplayClass, TraceEvent, TraceRecord, TraceRing, TraceSink};
 use crate::msg::{ClientRequest, Msg, ProtocolEvent};
 use crate::node::{ReplicaNode, Timer};
+
+/// What travels over the simulated (or threaded) network: the protocol
+/// message plus the sender's Lamport stamp. The stamp is trace metadata —
+/// hosts thread it from [`Effect::Send`] to [`Input::Deliver`] so causal
+/// ordering survives the substrate; the protocol itself never reads it.
+#[derive(Clone, Debug)]
+pub struct WireMsg {
+    /// The sender's Lamport counter at send time.
+    pub lamport: u64,
+    /// The protocol message.
+    pub msg: Msg,
+}
 
 /// The reserved timer id for the host-owned group-commit flush deadline.
 /// The engine allocates ids from a counter starting at 0 and can never
@@ -100,11 +114,17 @@ impl SyncSink {
 /// handled by the caller (journaling hosts intercept them first).
 fn replay_effects<A>(ctx: &mut Ctx<'_, A>, effects: &[Effect])
 where
-    A: Application<Msg = Msg, Timer = Timer, Output = ProtocolEvent>,
+    A: Application<Msg = WireMsg, Timer = Timer, Output = ProtocolEvent>,
 {
     for effect in effects {
         match effect {
-            Effect::Send { to, msg } => ctx.send(*to, msg.clone()),
+            Effect::Send { to, msg, lamport } => ctx.send(
+                *to,
+                WireMsg {
+                    lamport: *lamport,
+                    msg: msg.clone(),
+                },
+            ),
             Effect::SetTimer { id, delay, timer } => {
                 ctx.set_timer_with_id(*id, *delay, timer.clone())
             }
@@ -116,7 +136,7 @@ where
 }
 
 impl Application for ReplicaNode {
-    type Msg = Msg;
+    type Msg = WireMsg;
     type Timer = Timer;
     type External = ClientRequest;
     type Output = ProtocolEvent;
@@ -132,13 +152,20 @@ impl Application for ReplicaNode {
         let _ = self.step(SimTime::ZERO, Input::Crash);
     }
 
-    fn on_message(&mut self, ctx: &mut Ctx<'_, Self>, from: NodeId, msg: Msg) {
-        let effects = self.step(ctx.now(), Input::Deliver { from, msg });
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Self>, from: NodeId, wire: WireMsg) {
+        let effects = self.step(
+            ctx.now(),
+            Input::Deliver {
+                from,
+                msg: wire.msg,
+                lamport: wire.lamport,
+            },
+        );
         replay_effects(ctx, &effects);
     }
 
-    fn on_call_failed(&mut self, ctx: &mut Ctx<'_, Self>, to: NodeId, msg: Msg) {
-        let effects = self.step(ctx.now(), Input::CallFailed { to, msg });
+    fn on_call_failed(&mut self, ctx: &mut Ctx<'_, Self>, to: NodeId, wire: WireMsg) {
+        let effects = self.step(ctx.now(), Input::CallFailed { to, msg: wire.msg });
         replay_effects(ctx, &effects);
     }
 
@@ -179,6 +206,10 @@ pub struct JournaledNode {
     /// Optional on-disk mirror: every flush also writes the journal delta
     /// to a real file and `fdatasync`s it.
     sync: Option<SyncSink>,
+    /// Optional bounded flight recorder for this node's trace events.
+    tracing: Option<TraceRing>,
+    /// Host-level metrics: journal flush count and flush latency.
+    host_metrics: MetricsRegistry,
 }
 
 impl JournaledNode {
@@ -194,6 +225,43 @@ impl JournaledNode {
             flush_armed: false,
             flushes: 0,
             sync: None,
+            tracing: None,
+            host_metrics: MetricsRegistry::new(),
+        }
+    }
+
+    /// Attaches a flight recorder keeping the last `cap` trace events.
+    pub fn enable_tracing(&mut self, cap: usize) {
+        self.tracing = Some(TraceRing::new(cap));
+    }
+
+    /// This node's flight recorder, if tracing is enabled.
+    pub fn trace_ring(&self) -> Option<&TraceRing> {
+        self.tracing.as_ref()
+    }
+
+    /// A unified snapshot of this node's metrics: the engine's registry
+    /// merged with the host's journal counters and flush-latency histogram.
+    pub fn metrics(&self) -> MetricsRegistry {
+        let mut merged = self.node.stats.registry.clone();
+        merged.merge(&self.host_metrics);
+        merged.add(keys::JOURNAL_FLUSHES, self.flushes);
+        merged
+    }
+
+    /// Stamps and records a host-level trace event (no-op when tracing is
+    /// disabled).
+    fn trace_host(&mut self, at: SimTime, event: TraceEvent) {
+        if let Some(ring) = self.tracing.as_mut() {
+            let node = self.node.me;
+            let (seq, lamport) = self.node.trace_stamp();
+            ring.record(TraceRecord {
+                at,
+                node,
+                seq,
+                lamport,
+                event,
+            });
         }
     }
 
@@ -216,11 +284,23 @@ impl JournaledNode {
     fn flush(&mut self, ctx: &mut Ctx<'_, Self>) {
         if !self.buffer.is_empty() {
             let batch = self.buffer.drain();
+            // Host boundary: wall-clock timing of the (possibly fsync'd)
+            // flush — measurement only, never protocol-visible.
+            #[allow(clippy::disallowed_methods)]
+            let started = std::time::Instant::now();
             self.journal.append_batch(&batch);
             self.flushes += 1;
             if let Some(sink) = &mut self.sync {
                 sink.commit(self.journal.bytes());
             }
+            self.host_metrics
+                .observe(keys::JOURNAL_FLUSH_US, started.elapsed().as_micros() as u64);
+            self.trace_host(
+                ctx.now(),
+                TraceEvent::JournalFlush {
+                    records: batch.len() as u64,
+                },
+            );
         }
         if std::mem::take(&mut self.flush_armed) {
             ctx.cancel_timer(HOST_FLUSH_TIMER);
@@ -230,19 +310,32 @@ impl JournaledNode {
     }
 
     fn run(&mut self, ctx: &mut Ctx<'_, Self>, input: Input) {
-        let effects = self.node.step(ctx.now(), input);
+        let now = ctx.now();
+        let effects = match self.tracing.as_mut() {
+            Some(ring) => self.node.step_traced(now, input, ring),
+            None => self.node.step(now, input),
+        };
         let write_through = self.node.config.group_commit_max_batch <= 1;
         if write_through {
             // Write-ahead: journal the delta before any send/output it
             // governs.
+            let mut appended = false;
             for effect in &effects {
                 if let Effect::Persist(delta) = effect {
+                    #[allow(clippy::disallowed_methods)]
+                    let started = std::time::Instant::now();
                     self.journal.append_delta(delta);
                     self.flushes += 1;
                     if let Some(sink) = &mut self.sync {
                         sink.commit(self.journal.bytes());
                     }
+                    self.host_metrics
+                        .observe(keys::JOURNAL_FLUSH_US, started.elapsed().as_micros() as u64);
+                    appended = true;
                 }
+            }
+            if appended {
+                self.trace_host(now, TraceEvent::JournalAppend { records: 1 });
             }
             replay_effects(ctx, &effects);
             return;
@@ -288,7 +381,7 @@ impl std::ops::Deref for JournaledNode {
 }
 
 impl Application for JournaledNode {
-    type Msg = Msg;
+    type Msg = WireMsg;
     type Timer = Timer;
     type External = ClientRequest;
     type Output = ProtocolEvent;
@@ -315,6 +408,11 @@ impl Application for JournaledNode {
         // acknowledged); a quarantined journal is reset to the intact
         // prefix and flagged so the next start takes the rejoin path.
         let replay = self.journal.replay_checked(&self.node.config);
+        let class = match &replay.verdict {
+            crate::engine::storage::ReplayVerdict::Clean => ReplayClass::Clean,
+            crate::engine::storage::ReplayVerdict::TornTail { .. } => ReplayClass::TornTail,
+            crate::engine::storage::ReplayVerdict::Quarantined { .. } => ReplayClass::Quarantined,
+        };
         if replay.verdict.is_bootable() {
             self.journal.truncate_tail();
         } else {
@@ -322,14 +420,22 @@ impl Application for JournaledNode {
             self.quarantined = true;
         }
         self.node.install_durable(replay.durable);
+        self.trace_host(SimTime::ZERO, TraceEvent::JournalReplay { class });
     }
 
-    fn on_message(&mut self, ctx: &mut Ctx<'_, Self>, from: NodeId, msg: Msg) {
-        self.run(ctx, Input::Deliver { from, msg });
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Self>, from: NodeId, wire: WireMsg) {
+        self.run(
+            ctx,
+            Input::Deliver {
+                from,
+                msg: wire.msg,
+                lamport: wire.lamport,
+            },
+        );
     }
 
-    fn on_call_failed(&mut self, ctx: &mut Ctx<'_, Self>, to: NodeId, msg: Msg) {
-        self.run(ctx, Input::CallFailed { to, msg });
+    fn on_call_failed(&mut self, ctx: &mut Ctx<'_, Self>, to: NodeId, wire: WireMsg) {
+        self.run(ctx, Input::CallFailed { to, msg: wire.msg });
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, Self>, timer: Timer) {

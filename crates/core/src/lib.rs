@@ -77,12 +77,13 @@ pub use config::{Mode, ProtocolConfig, WriteMode};
 pub use election::InitiatorPolicy;
 pub use engine::driver::{Envelope, PendingTimer};
 pub use engine::{
-    DriverEvent, DurableDelta, Effect, Failpoints, FaultKind, FiredFault, FramedJournal,
-    FramedReplay, Input, MemJournal, NodeCtx, QuarantineReason, ReplayVerdict, Rng64,
-    StableStorage, StepDriver,
+    causal_merge, keys, render_jsonl, DriverEvent, DurableDelta, Effect, Failpoints, FaultKind,
+    FiredFault, FramedJournal, FramedReplay, Histogram, Input, MemJournal, MetricsRegistry,
+    NodeCtx, NoopSink, QuarantineReason, ReplayClass, ReplayVerdict, Rng64, StableStorage,
+    StepDriver, TraceEvent, TraceRecord, TraceRing, TraceSink,
 };
 #[cfg(feature = "simnet-host")]
-pub use host::JournaledNode;
+pub use host::{JournaledNode, WireMsg};
 pub use locks::{LockGrant, ReplicaLock};
 pub use msg::{
     Action, ClientRequest, FailReason, Msg, MsgClass, OpId, PropPayload, PropReply, ProtocolEvent,

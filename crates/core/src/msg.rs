@@ -342,6 +342,17 @@ pub enum MsgClass {
     EpochCheck,
 }
 
+impl MsgClass {
+    /// Every class, in `Ord` order — for exhaustive metric enumeration.
+    pub const ALL: [MsgClass; 5] = [
+        MsgClass::Permission,
+        MsgClass::Commit,
+        MsgClass::Fetch,
+        MsgClass::Propagation,
+        MsgClass::EpochCheck,
+    ];
+}
+
 /// Client-facing request, injected at a coordinator node.
 #[derive(Clone, Debug)]
 pub enum ClientRequest {

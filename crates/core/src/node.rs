@@ -5,7 +5,9 @@
 
 use crate::config::ProtocolConfig;
 use crate::election::ElectionState;
+use crate::engine::metrics::{keys, MetricsRegistry};
 use crate::engine::rng::Rng64;
+use crate::engine::trace::TraceEvent;
 use crate::epoch::EpochCoordinator;
 use crate::locks::ReplicaLock;
 use crate::msg::{Action, ClientRequest, MsgClass, OpId};
@@ -255,46 +257,98 @@ impl Clone for Volatile {
 
 /// Cumulative per-node counters. Not protocol state: kept across crashes so
 /// the harness reads totals for the whole run.
+///
+/// Since the observability refactor this is a thin facade over the unified
+/// [`MetricsRegistry`] — every counter lives in the registry under the key
+/// constants in [`crate::engine::metrics::keys`], and the named accessors
+/// below exist so call sites read like the fields they replaced.
 #[derive(Clone, Debug, Default)]
 pub struct NodeStats {
-    /// Committed writes coordinated by this node.
-    pub writes_ok: u64,
-    /// Failed writes coordinated by this node (after retries).
-    pub writes_failed: u64,
-    /// Completed reads coordinated by this node.
-    pub reads_ok: u64,
-    /// Failed reads coordinated by this node.
-    pub reads_failed: u64,
-    /// Client-level retries due to contention.
-    pub retries: u64,
-    /// Times the heavy procedure ran.
-    pub heavy_runs: u64,
-    /// Write rounds opened directly in the voting phase by a pipelined
-    /// lock handoff (each one overlapped its predecessor's decision).
-    pub chained_rounds: u64,
-    /// Client writes that committed while sharing a round with at least
-    /// one other write (coordinator-side batching).
-    pub batched_writes: u64,
-    /// Replicas written or marked per committed write (sum, for averaging).
-    pub replicas_touched_sum: u64,
-    /// Replicas marked stale (sum over committed writes).
-    pub marked_stale_sum: u64,
-    /// Synchronous reconciliations (write-all-current baseline only).
-    pub sync_reconciliations: u64,
-    /// Propagations completed with this node as the source.
-    pub propagations_done: u64,
-    /// Epoch changes committed with this node as the coordinator.
-    pub epoch_changes: u64,
-    /// Messages received, by class.
-    pub msgs_in: BTreeMap<MsgClass, u64>,
-    /// `CallFailed` bounces, by class of the undeliverable message.
-    pub msgs_bounced: BTreeMap<MsgClass, u64>,
+    /// The unified per-node registry (counters + histograms).
+    pub registry: MetricsRegistry,
 }
 
 impl NodeStats {
+    /// Committed writes coordinated by this node.
+    pub fn writes_ok(&self) -> u64 {
+        self.registry.counter(keys::WRITES_OK)
+    }
+
+    /// Failed writes coordinated by this node (after retries).
+    pub fn writes_failed(&self) -> u64 {
+        self.registry.counter(keys::WRITES_FAILED)
+    }
+
+    /// Completed reads coordinated by this node.
+    pub fn reads_ok(&self) -> u64 {
+        self.registry.counter(keys::READS_OK)
+    }
+
+    /// Failed reads coordinated by this node.
+    pub fn reads_failed(&self) -> u64 {
+        self.registry.counter(keys::READS_FAILED)
+    }
+
+    /// Client-level retries due to contention.
+    pub fn retries(&self) -> u64 {
+        self.registry.counter(keys::RETRIES)
+    }
+
+    /// Times the heavy procedure ran.
+    pub fn heavy_runs(&self) -> u64 {
+        self.registry.counter(keys::HEAVY_RUNS)
+    }
+
+    /// Write rounds opened directly in the voting phase by a pipelined
+    /// lock handoff (each one overlapped its predecessor's decision).
+    pub fn chained_rounds(&self) -> u64 {
+        self.registry.counter(keys::CHAINED_ROUNDS)
+    }
+
+    /// Client writes that committed while sharing a round with at least
+    /// one other write (coordinator-side batching).
+    pub fn batched_writes(&self) -> u64 {
+        self.registry.counter(keys::BATCHED_WRITES)
+    }
+
+    /// Replicas written or marked per committed write (sum, for averaging).
+    pub fn replicas_touched_sum(&self) -> u64 {
+        self.registry.counter(keys::REPLICAS_TOUCHED_SUM)
+    }
+
+    /// Replicas marked stale (sum over committed writes).
+    pub fn marked_stale_sum(&self) -> u64 {
+        self.registry.counter(keys::MARKED_STALE_SUM)
+    }
+
+    /// Synchronous reconciliations (write-all-current baseline only).
+    pub fn sync_reconciliations(&self) -> u64 {
+        self.registry.counter(keys::SYNC_RECONCILIATIONS)
+    }
+
+    /// Propagations completed with this node as the source.
+    pub fn propagations_done(&self) -> u64 {
+        self.registry.counter(keys::PROPAGATIONS_DONE)
+    }
+
+    /// Epoch changes committed with this node as the coordinator.
+    pub fn epoch_changes(&self) -> u64 {
+        self.registry.counter(keys::EPOCH_CHANGES)
+    }
+
+    /// Messages received in `class`.
+    pub fn msgs_in(&self, class: MsgClass) -> u64 {
+        self.registry.counter(keys::msgs_in(class))
+    }
+
+    /// `CallFailed` bounces whose undeliverable message was in `class`.
+    pub fn msgs_bounced(&self, class: MsgClass) -> u64 {
+        self.registry.counter(keys::msgs_bounced(class))
+    }
+
     /// Total messages received across classes.
     pub fn msgs_in_total(&self) -> u64 {
-        self.msgs_in.values().sum()
+        MsgClass::ALL.iter().map(|&c| self.msgs_in(c)).sum()
     }
 }
 
@@ -321,6 +375,15 @@ pub struct ReplicaNode {
     pub(crate) rng: Rng64,
     /// Monotonic timer-id allocator; node-unique for the engine's lifetime.
     pub(crate) timer_seq: u64,
+    /// Lamport causal counter: ticked on every send, merged on every
+    /// delivery. Carried on the wire (see
+    /// [`Effect::Send`](crate::engine::Effect::Send)) so trace records
+    /// from different nodes order causally. Advances identically whether
+    /// or not a trace sink is attached.
+    pub(crate) lamport: u64,
+    /// Per-node monotonic trace sequence counter (survives crashes, like
+    /// the stats — it is measurement state, not protocol state).
+    pub(crate) trace_seq: u64,
     /// Shadow copy of [`durable`](ReplicaNode::durable) as of the last
     /// emitted `Persist`, used to diff out per-step deltas.
     pub(crate) shadow: Durable,
@@ -342,7 +405,24 @@ impl ReplicaNode {
             vol: Volatile::default(),
             stats: NodeStats::default(),
             timer_seq: 0,
+            lamport: 0,
+            trace_seq: 0,
         }
+    }
+
+    /// The node's current Lamport counter (trace metadata).
+    pub fn lamport(&self) -> u64 {
+        self.lamport
+    }
+
+    /// Stamps a host-level trace event: ticks the per-node sequence
+    /// counter and returns `(seq, lamport)`. Hosts use this for events the
+    /// engine cannot see (journal appends/flushes/replays, failpoint
+    /// trips) so their records interleave correctly with engine-emitted
+    /// ones.
+    pub fn trace_stamp(&mut self) -> (u64, u64) {
+        self.trace_seq += 1;
+        (self.trace_seq, self.lamport)
     }
 
     /// Replaces the durable state wholesale — the recovery path for hosts
@@ -380,6 +460,7 @@ impl ReplicaNode {
     /// a waiting epoch prepare if one is queued.
     pub fn release_lock(&mut self, ctx: &mut NodeCtx<'_>, op: OpId) {
         self.vol.lock.release(op);
+        ctx.trace(TraceEvent::LockRelease { op });
         if let Some(timer) = self.vol.lock_leases.remove(&op) {
             ctx.cancel_timer(timer);
         }
@@ -397,6 +478,7 @@ impl ReplicaNode {
             }
         }
         self.vol.lock.release(op);
+        ctx.trace(TraceEvent::LockRelease { op });
         self.grant_pending_epoch_prepare(ctx);
     }
 }
@@ -410,7 +492,7 @@ impl ReplicaNode {
         attempt: u32,
     ) {
         if attempt > 0 {
-            self.stats.retries += 1;
+            self.stats.registry.inc(keys::RETRIES);
         }
         match request {
             ClientRequest::Read { id } => self.start_read(ctx, id, attempt),

@@ -10,6 +10,7 @@
 //! and suggests logging as an optimization; we keep the simple locking and
 //! stagger sources with jitter instead.
 
+use crate::engine::metrics::keys;
 use crate::msg::{Msg, OpId, PropPayload, PropReply, ProtocolEvent};
 use crate::node::{NodeCtx, ReplicaNode, Timer};
 use coterie_base::{SimTime, TimerId};
@@ -396,7 +397,7 @@ impl ReplicaNode {
             return;
         }
         if ok {
-            self.stats.propagations_done += 1;
+            self.stats.registry.inc(keys::PROPAGATIONS_DONE);
             let version = self.durable.version;
             ctx.output(ProtocolEvent::Propagated {
                 target: from,

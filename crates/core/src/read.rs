@@ -5,6 +5,7 @@
 //! object from it, release, and return.
 
 use crate::classify::Classified;
+use crate::engine::metrics::keys;
 use crate::msg::{ClientRequest, FailReason, Msg, OpId, ProtocolEvent, StateTuple};
 use crate::node::{NodeCtx, ReplicaNode, Timer};
 use bytes::Bytes;
@@ -78,7 +79,7 @@ impl ReplicaNode {
             .rule
             .pick_quorum(&view, view.set(), seed, QuorumKind::Read)
         else {
-            self.stats.reads_failed += 1;
+            self.stats.registry.inc(keys::READS_FAILED);
             ctx.output(ProtocolEvent::Failed {
                 id: client_id,
                 reason: FailReason::NoQuorum,
@@ -247,7 +248,7 @@ impl ReplicaNode {
     }
 
     fn go_heavy_read(&mut self, ctx: &mut NodeCtx<'_>, op: OpId) {
-        self.stats.heavy_runs += 1;
+        self.stats.registry.inc(keys::HEAVY_RUNS);
         let all = NodeSet::from_iter(self.all_nodes());
         let Some(rc) = self.vol.reads.get_mut(&op) else {
             return;
@@ -357,7 +358,7 @@ impl ReplicaNode {
         for &n in rc.granted.keys() {
             ctx.send(n, Msg::Release { op });
         }
-        self.stats.reads_ok += 1;
+        self.stats.registry.inc(keys::READS_OK);
         let digest = {
             let mut o = crate::store::PagedObject::new(pages.len());
             o.restore(pages.clone());
@@ -396,7 +397,7 @@ impl ReplicaNode {
             );
             return;
         }
-        self.stats.reads_failed += 1;
+        self.stats.registry.inc(keys::READS_FAILED);
         ctx.output(ProtocolEvent::Failed {
             id: rc.client_id,
             reason,

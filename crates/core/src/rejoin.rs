@@ -59,6 +59,7 @@ use coterie_quorum::{NodeId, QuorumKind};
 
 use crate::classify::Classified;
 use crate::config::Mode;
+use crate::engine::trace::TraceEvent;
 use crate::msg::{Msg, OpId, ProtocolEvent, StateTuple};
 use crate::node::{NodeCtx, ReplicaNode, Timer};
 
@@ -111,6 +112,7 @@ impl ReplicaNode {
     /// was interrupted by a crash.
     pub(crate) fn start_rejoin(&mut self, ctx: &mut NodeCtx<'_>) {
         let op = self.next_op();
+        ctx.trace(TraceEvent::RejoinStart { op });
         self.vol.rejoin = Some(RejoinState {
             op,
             responses: BTreeMap::new(),
@@ -226,6 +228,10 @@ impl ReplicaNode {
             .any(|s| s.wlocked && s.prepared_version.is_none());
         let target = committed.max(prepared) + u64::from(lock_hazard);
         self.durable.dversion = self.durable.dversion.max(target);
+        ctx.trace(TraceEvent::RejoinDone {
+            dversion: self.durable.dversion,
+            enumber: self.durable.enumber,
+        });
         ctx.output(ProtocolEvent::Rejoined {
             dversion: self.durable.dversion,
             enumber: self.durable.enumber,

@@ -1,6 +1,7 @@
 //! Replica-side (participant) handlers: permission requests, two-phase
 //! commit, decision recovery, and read fetches.
 
+use crate::engine::trace::TraceEvent;
 use crate::msg::{Action, Msg, OpId, StateTuple};
 use crate::node::{NodeCtx, ReplicaNode};
 use crate::store::LogEntry;
@@ -46,6 +47,10 @@ impl ReplicaNode {
                 crate::locks::LockGrant::Granted
             );
         if granted {
+            ctx.trace(TraceEvent::LockAcquire {
+                op,
+                exclusive: true,
+            });
             self.arm_lock_lease(ctx, op);
         }
         let state = self.state_tuple();
@@ -64,6 +69,10 @@ impl ReplicaNode {
                 crate::locks::LockGrant::Granted
             );
         if granted {
+            ctx.trace(TraceEvent::LockAcquire {
+                op,
+                exclusive: false,
+            });
             self.arm_lock_lease(ctx, op);
         }
         let state = self.state_tuple();
@@ -108,6 +117,7 @@ impl ReplicaNode {
         // Duplicate Prepare for an already-prepared op: re-vote yes.
         if let Some((prep_op, _)) = &self.durable.prepared {
             let yes = *prep_op == op;
+            ctx.trace(TraceEvent::VoteCast { op, yes });
             ctx.send(from, Msg::Vote { op, yes });
             return;
         }
@@ -116,6 +126,7 @@ impl ReplicaNode {
         // known (in particular, a write-all-current base shipment would
         // clear the stale flag and skip the rejoin safety net).
         if self.in_rejoin_limbo() {
+            ctx.trace(TraceEvent::VoteCast { op, yes: false });
             ctx.send(from, Msg::Vote { op, yes: false });
             return;
         }
@@ -156,6 +167,10 @@ impl ReplicaNode {
                         crate::locks::LockGrant::Granted
                     )
                 {
+                    ctx.trace(TraceEvent::LockAcquire {
+                        op,
+                        exclusive: true,
+                    });
                     self.arm_lock_lease(ctx, op);
                     true
                 } else {
@@ -168,6 +183,7 @@ impl ReplicaNode {
                 // Stale-numbered or misdirected epoch changes are refused
                 // outright.
                 if *enumber <= self.durable.enumber || !list.contains(&self.me) {
+                    ctx.trace(TraceEvent::VoteCast { op, yes: false });
                     ctx.send(from, Msg::Vote { op, yes: false });
                     return;
                 }
@@ -192,9 +208,14 @@ impl ReplicaNode {
                         };
                         if old_enumber >= *enumber {
                             self.vol.pending_epoch_prepare = Some((old_op, old_from, old_action));
+                            ctx.trace(TraceEvent::VoteCast { op, yes: false });
                             ctx.send(from, Msg::Vote { op, yes: false });
                             return;
                         }
+                        ctx.trace(TraceEvent::VoteCast {
+                            op: old_op,
+                            yes: false,
+                        });
                         ctx.send(
                             old_from,
                             Msg::Vote {
@@ -206,6 +227,10 @@ impl ReplicaNode {
                     self.vol.pending_epoch_prepare = Some((op, from, action));
                     return;
                 }
+                ctx.trace(TraceEvent::LockAcquire {
+                    op,
+                    exclusive: true,
+                });
                 self.arm_lock_lease(ctx, op);
                 true
             }
@@ -223,6 +248,7 @@ impl ReplicaNode {
             // validation; don't leave the replica locked until the lease.
             self.release_lock(ctx, op);
         }
+        ctx.trace(TraceEvent::VoteCast { op, yes });
         ctx.send(from, Msg::Vote { op, yes });
     }
 
@@ -246,6 +272,7 @@ impl ReplicaNode {
         {
             self.vol.pending_epoch_prepare = None;
         }
+        ctx.trace(TraceEvent::DecisionTaken { op, commit });
         let applied = match self.durable.prepared.take() {
             Some((p, action)) if p == op => {
                 if commit {
@@ -268,6 +295,10 @@ impl ReplicaNode {
         if commit && applied {
             if let Some(next) = chain {
                 if self.vol.lock.transfer_exclusive(op, next) {
+                    ctx.trace(TraceEvent::LockHandoff {
+                        from_op: op,
+                        to_op: next,
+                    });
                     if let Some(timer) = self.vol.lock_leases.remove(&op) {
                         ctx.cancel_timer(timer);
                     }
@@ -405,6 +436,7 @@ impl ReplicaNode {
             } => {
                 self.durable.elist = list.clone();
                 self.durable.enumber = *enumber;
+                ctx.trace(TraceEvent::EpochInstalled { enumber: *enumber });
                 if stale.contains(&self.me) {
                     self.durable.stale = true;
                     self.durable.dversion = self.durable.dversion.max(*desired_version);

@@ -16,6 +16,8 @@
 
 use crate::classify::Classified;
 use crate::config::WriteMode;
+use crate::engine::metrics::keys;
+use crate::engine::trace::TraceEvent;
 use crate::msg::{Action, ClientRequest, FailReason, Msg, OpId, ProtocolEvent, StateTuple};
 use crate::node::{NodeCtx, ReplicaNode, Timer};
 use crate::store::PartialWrite;
@@ -179,7 +181,7 @@ impl ReplicaNode {
         };
         let Some(quorum) = quorum else {
             for entry in batch {
-                self.stats.writes_failed += 1;
+                self.stats.registry.inc(keys::WRITES_FAILED);
                 ctx.output(ProtocolEvent::Failed {
                     id: entry.client_id,
                     reason: FailReason::NoQuorum,
@@ -349,7 +351,7 @@ impl ReplicaNode {
 
     /// `HeavyProcedure`: poll every replica not yet polled and re-evaluate.
     fn go_heavy_write(&mut self, ctx: &mut NodeCtx<'_>, op: OpId) {
-        self.stats.heavy_runs += 1;
+        self.stats.registry.inc(keys::HEAVY_RUNS);
         let all = NodeSet::from_iter(self.all_nodes());
         let Some(wc) = self.vol.writes.get_mut(&op) else {
             return;
@@ -402,6 +404,7 @@ impl ReplicaNode {
         let timeout = self.config.vote_timeout;
         let timer = ctx.set_timer(timeout, Timer::Votes { op });
         let writes: Vec<PartialWrite> = wc.batch.iter().map(|e| e.write.clone()).collect();
+        ctx.trace(TraceEvent::PrepareIssued { op });
         for &node in c.good.iter().chain(optional.iter()) {
             ctx.send(
                 node,
@@ -479,6 +482,7 @@ impl ReplicaNode {
             let timeout = self.config.vote_timeout;
             let timer = ctx.set_timer(timeout, Timer::Votes { op });
             let writes: Vec<PartialWrite> = wc.batch.iter().map(|e| e.write.clone()).collect();
+            ctx.trace(TraceEvent::PrepareIssued { op });
             for &node in &c.good {
                 ctx.send(
                     node,
@@ -539,7 +543,7 @@ impl ReplicaNode {
         } else {
             c.good[0]
         };
-        self.stats.sync_reconciliations += 1;
+        self.stats.registry.inc(keys::SYNC_RECONCILIATIONS);
         ctx.output(ProtocolEvent::SyncReconciliation {
             targets: targets.len(),
         });
@@ -603,6 +607,7 @@ impl ReplicaNode {
             stale: Vec::new(),
             timer,
         };
+        ctx.trace(TraceEvent::PrepareIssued { op });
         for &node in &c.good {
             ctx.send(
                 node,
@@ -773,12 +778,22 @@ impl ReplicaNode {
             ctx.send(n, Msg::Release { op });
         }
         let touched = participants.len() + committed_optional.len();
-        self.stats.writes_ok += wc.batch.len() as u64;
+        self.stats
+            .registry
+            .add(keys::WRITES_OK, wc.batch.len() as u64);
         if wc.batch.len() > 1 {
-            self.stats.batched_writes += wc.batch.len() as u64;
+            self.stats
+                .registry
+                .add(keys::BATCHED_WRITES, wc.batch.len() as u64);
         }
-        self.stats.replicas_touched_sum += (touched * wc.batch.len()) as u64;
-        self.stats.marked_stale_sum += (stale.len() * wc.batch.len()) as u64;
+        self.stats.registry.add(
+            keys::REPLICAS_TOUCHED_SUM,
+            (touched * wc.batch.len()) as u64,
+        );
+        self.stats.registry.add(
+            keys::MARKED_STALE_SUM,
+            (stale.len() * wc.batch.len()) as u64,
+        );
         // One ack per batched client write, at its own version.
         let first_version = new_version + 1 - wc.batch.len() as u64;
         for (i, entry) in wc.batch.iter().enumerate() {
@@ -842,7 +857,7 @@ impl ReplicaNode {
         stale: Vec<NodeId>,
         chain_len: u32,
     ) {
-        self.stats.chained_rounds += 1;
+        self.stats.registry.inc(keys::CHAINED_ROUNDS);
         let new_version = base_version + batch.len() as u64;
         let stale_set = NodeSet::from_iter(stale.iter().copied());
         let good_required: Vec<NodeId> = participants
@@ -859,6 +874,7 @@ impl ReplicaNode {
         good_list.sort_unstable();
         let writes: Vec<PartialWrite> = batch.iter().map(|e| e.write.clone()).collect();
         let timer = ctx.set_timer(self.config.vote_timeout, Timer::Votes { op });
+        ctx.trace(TraceEvent::PrepareIssued { op });
         for &node in good_required.iter().chain(optional.iter()) {
             ctx.send(
                 node,
@@ -997,7 +1013,7 @@ impl ReplicaNode {
                         ..entry
                     });
                 } else {
-                    self.stats.writes_failed += 1;
+                    self.stats.registry.inc(keys::WRITES_FAILED);
                     ctx.output(ProtocolEvent::Failed {
                         id: entry.client_id,
                         reason,
@@ -1027,7 +1043,7 @@ impl ReplicaNode {
                     },
                 );
             } else {
-                self.stats.writes_failed += 1;
+                self.stats.registry.inc(keys::WRITES_FAILED);
                 ctx.output(ProtocolEvent::Failed {
                     id: entry.client_id,
                     reason,

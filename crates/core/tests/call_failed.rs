@@ -93,14 +93,7 @@ fn bounced_propagation_offer_retries_until_target_recovers() {
 
     // Crash the stale target: the next PropOffer (or PropData) bounces.
     driver.crash(target);
-    let bounced = |d: &StepDriver, n: NodeId| {
-        d.node(n)
-            .stats
-            .msgs_bounced
-            .get(&MsgClass::Propagation)
-            .copied()
-            .unwrap_or(0)
-    };
+    let bounced = |d: &StepDriver, n: NodeId| d.node(n).stats.msgs_bounced(MsgClass::Propagation);
     run_until(&mut driver, 500, |d| {
         (0..3).any(|n| bounced(d, NodeId(n)) >= 1)
     });
@@ -175,12 +168,7 @@ fn bounced_election_challenges_let_the_caller_win_by_timeout() {
     }
     let node0 = driver.node(NodeId(0));
     assert_eq!(
-        node0
-            .stats
-            .msgs_bounced
-            .get(&MsgClass::EpochCheck)
-            .copied()
-            .unwrap_or(0),
+        node0.stats.msgs_bounced(MsgClass::EpochCheck),
         2,
         "both bounced challenges must be counted"
     );

@@ -31,11 +31,16 @@ const EMIT_ENV: &str = "COTERIE_DETERMINISM_EMIT";
 const MARKER: &str = "JOURNAL-FNV1A=";
 
 /// Runs a fixed seeded workload (writes, a read, crashes, recoveries) and
-/// serializes every node's journal + final state into one canonical string.
+/// serializes every node's journal + final state + merged trace into one
+/// canonical string. Tracing is enabled with an unbounded-in-practice ring
+/// so the trace JSONL is part of the cross-process determinism contract:
+/// Lamport stamps, per-node sequence numbers, and merge order must all
+/// reproduce byte-for-byte.
 fn run_and_serialize() -> String {
     let rule: Arc<dyn coterie_quorum::CoterieRule> = Arc::new(GridCoterie::new());
     let config = ProtocolConfig::new(rule, N).pages(4).rng_seed(SEED);
     let mut driver = StepDriver::new(N, config);
+    driver.enable_tracing(1 << 16);
     for (id, node, page) in [(1u64, 0u32, 0u16), (2, 1, 1), (3, 2, 0), (4, 0, 2)] {
         driver.inject(
             NodeId(node),
@@ -99,6 +104,7 @@ fn run_and_serialize() -> String {
         driver.state_digest(),
         driver.outputs(),
     ));
+    out.push_str(&coterie_core::render_jsonl(&driver.merged_trace()));
     out
 }
 

@@ -283,13 +283,13 @@ fn write_burst_batches_and_chains_rounds() {
     assert_eq!(oks, 8, "all writes must commit");
     let stats = &driver.node(NodeId(0)).stats;
     assert!(
-        stats.batched_writes >= 2,
+        stats.batched_writes() >= 2,
         "expected shared rounds, got batched_writes = {}",
-        stats.batched_writes
+        stats.batched_writes()
     );
     assert!(
-        stats.chained_rounds >= 1,
+        stats.chained_rounds() >= 1,
         "expected a pipelined handoff, got chained_rounds = {}",
-        stats.chained_rounds
+        stats.chained_rounds()
     );
 }

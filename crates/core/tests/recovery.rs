@@ -142,7 +142,7 @@ fn static_mode_never_runs_epoch_checks() {
     sim.run_for(SimDuration::from_secs(30));
     for id in 0..3u32 {
         assert_eq!(sim.node(NodeId(id)).durable.enumber, 0);
-        assert_eq!(sim.node(NodeId(id)).stats.epoch_changes, 0);
+        assert_eq!(sim.node(NodeId(id)).stats.epoch_changes(), 0);
     }
 }
 

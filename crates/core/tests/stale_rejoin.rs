@@ -208,6 +208,7 @@ fn rejoin_dversion_with(answers: Vec<StateTuple>) -> u64 {
             Input::Deliver {
                 from,
                 msg: Msg::RejoinInfo { op, state },
+                lamport: 0,
             },
         ) {
             if let Effect::Output(ProtocolEvent::Rejoined { dversion: d, .. }) = effect {

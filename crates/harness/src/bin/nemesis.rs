@@ -3,13 +3,21 @@
 //! coherence, or one-copy-serializability violations after every recovery
 //! and at the end of every schedule.
 //!
-//! Usage: `nemesis [runs_per_rule] [base_seed] [steps]`
+//! Usage: `nemesis [runs_per_rule] [base_seed] [steps] [rule]`
 //!
-//! Exits non-zero if any run found a violation.
+//! `rule` restricts the sweep to one coterie family (`grid` or
+//! `majority`); omitted, both are soaked.
+//!
+//! Exits non-zero if any run found a violation. Dirty runs dump their
+//! flight recorder (the causally merged last-N trace records per node) to
+//! `target/nemesis-seed{seed}-{cell}-trace.jsonl` plus a human-readable
+//! `.txt` timeline.
 
+use std::path::PathBuf;
 use std::sync::Arc;
 
 use coterie_harness::nemesis::{soak, NemesisConfig, NemesisReport};
+use coterie_harness::recorder::write_dump;
 use coterie_quorum::{CoterieRule, GridCoterie, MajorityCoterie};
 
 fn main() {
@@ -17,6 +25,7 @@ fn main() {
     let runs: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(25);
     let base_seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(0x5EED);
     let steps: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(3_000);
+    let only_rule = args.next();
 
     let setups: [(&str, Arc<dyn CoterieRule>, usize); 2] = [
         ("grid", Arc::new(GridCoterie::new()), 4),
@@ -32,6 +41,9 @@ fn main() {
     let mut failed = false;
     let mut schedules = 0u64;
     for (name, rule, n_nodes) in setups {
+        if only_rule.as_deref().is_some_and(|r| r != name) {
+            continue;
+        }
         for (suffix, write_batch, pipeline_window, group_commit) in variants {
             let cfg = NemesisConfig {
                 n_nodes,
@@ -50,6 +62,22 @@ fn main() {
                     eprintln!("== seed {} ==", run.seed);
                     for v in &run.violations {
                         eprintln!("  {v}");
+                    }
+                    if let Some(dump) = &run.trace {
+                        let prefix = PathBuf::from(format!(
+                            "target/nemesis-seed{}-{name}{suffix}-trace",
+                            run.seed
+                        ));
+                        match write_dump(dump, &prefix) {
+                            Ok((jsonl, txt)) => eprintln!(
+                                "  flight recorder ({} records, {} evicted): {} / {}",
+                                dump.records,
+                                dump.dropped,
+                                jsonl.display(),
+                                txt.display()
+                            ),
+                            Err(e) => eprintln!("  flight recorder dump failed: {e}"),
+                        }
                     }
                 }
             }

@@ -16,6 +16,7 @@ pub mod explore;
 pub mod faults;
 pub mod metrics;
 pub mod nemesis;
+pub mod recorder;
 pub mod report;
 pub mod scenario;
 pub mod sitemodel;

@@ -36,6 +36,7 @@ use coterie_simnet::SimDuration;
 
 use crate::checker::check_run;
 use crate::explore::cluster_invariant_violations;
+use crate::recorder::{capture, TraceDump};
 use crate::workload::IssuedOp;
 
 /// Nemesis schedule parameters. The per-mille weights are per schedule
@@ -70,6 +71,9 @@ pub struct NemesisConfig {
     /// the schedule models the host's flush deadline as a frequent
     /// explicit-flush event.
     pub group_commit: usize,
+    /// Per-node flight-recorder capacity (trace records retained per
+    /// node); 0 disables tracing entirely.
+    pub trace_cap: usize,
 }
 
 impl Default for NemesisConfig {
@@ -87,6 +91,7 @@ impl Default for NemesisConfig {
             write_batch: 1,
             pipeline_window: 1,
             group_commit: 1,
+            trace_cap: 256,
         }
     }
 }
@@ -114,6 +119,9 @@ pub struct NemesisRun {
     pub writes_committed: usize,
     /// Reads the checker verified.
     pub reads_checked: usize,
+    /// Flight-recorder dump captured at the first violation (None for
+    /// clean runs or when [`NemesisConfig::trace_cap`] is 0).
+    pub trace: Option<TraceDump>,
 }
 
 impl NemesisRun {
@@ -166,6 +174,9 @@ pub fn run_nemesis(rule: Arc<dyn CoterieRule>, seed: u64, cfg: &NemesisConfig) -
         .group_commit(cfg.group_commit, SimDuration::from_millis(2))
         .rng_seed(seed);
     let mut driver = StepDriver::new(n, protocol);
+    if cfg.trace_cap > 0 {
+        driver.enable_tracing(cfg.trace_cap);
+    }
     // The schedule RNG is independent of the engines' (different stream).
     let mut rng = Rng64::new(seed ^ 0x4E45_4D45_5349_5321);
     // Silent corruption is confined to one victim per run (see module docs).
@@ -191,6 +202,7 @@ pub fn run_nemesis(rule: Arc<dyn CoterieRule>, seed: u64, cfg: &NemesisConfig) -
             maybe_crash(&mut driver, &mut rng, victim, &mut run);
         } else if roll < recover_cut {
             maybe_recover(&mut driver, &mut rng, step, &mut run);
+            snapshot_on_violation(&driver, &mut run);
         } else if roll < fault_cut {
             arm_fault(&mut driver, &mut rng, victim);
         } else if roll < partition_cut {
@@ -239,7 +251,16 @@ pub fn run_nemesis(rule: Arc<dyn CoterieRule>, seed: u64, cfg: &NemesisConfig) -
     run.faults_fired = (0..n as u32)
         .map(|i| driver.fired_faults(NodeId(i)).len())
         .sum();
+    snapshot_on_violation(&driver, &mut run);
     run
+}
+
+/// Captures the flight recorder the first time a run turns dirty, so the
+/// dump reflects the window leading up to the *first* violation.
+fn snapshot_on_violation(driver: &StepDriver, run: &mut NemesisRun) {
+    if run.trace.is_none() && !run.violations.is_empty() {
+        run.trace = capture(driver);
+    }
 }
 
 /// Sweeps `count` consecutive seeds starting at `base_seed`.

@@ -9,7 +9,7 @@ use crate::checker::{check_run, CheckReport};
 use crate::faults::{FaultEvent, FaultPlan};
 use crate::metrics::{LatencyStats, LoadStats};
 use crate::workload::Workload;
-use coterie_core::{ProtocolConfig, ProtocolEvent, ReplicaNode};
+use coterie_core::{MsgClass, ProtocolConfig, ProtocolEvent, ReplicaNode};
 use coterie_quorum::NodeId;
 use coterie_simnet::{Sim, SimConfig, SimDuration, SimTime};
 use serde::Serialize;
@@ -152,24 +152,27 @@ pub fn run_scenario(scenario: &Scenario) -> ScenarioResult {
     }
     for id in 0..n as u32 {
         let stats = &sim.node(NodeId(id)).stats;
-        result.writes_ok += stats.writes_ok;
-        result.writes_failed += stats.writes_failed;
-        result.reads_ok += stats.reads_ok;
-        result.reads_failed += stats.reads_failed;
-        result.retries += stats.retries;
-        result.heavy_runs += stats.heavy_runs;
-        result.epoch_changes += stats.epoch_changes;
-        result.propagations += stats.propagations_done;
-        result.sync_reconciliations += stats.sync_reconciliations;
-        for (class, count) in &stats.msgs_in {
-            *result
-                .msgs_by_class
-                .entry(format!("{class:?}"))
-                .or_insert(0) += count;
+        result.writes_ok += stats.writes_ok();
+        result.writes_failed += stats.writes_failed();
+        result.reads_ok += stats.reads_ok();
+        result.reads_failed += stats.reads_failed();
+        result.retries += stats.retries();
+        result.heavy_runs += stats.heavy_runs();
+        result.epoch_changes += stats.epoch_changes();
+        result.propagations += stats.propagations_done();
+        result.sync_reconciliations += stats.sync_reconciliations();
+        for class in MsgClass::ALL {
+            let count = stats.msgs_in(class);
+            if count > 0 {
+                *result
+                    .msgs_by_class
+                    .entry(format!("{class:?}"))
+                    .or_insert(0) += count;
+            }
         }
-        if stats.writes_ok > 0 {
-            result.replicas_touched_avg += stats.replicas_touched_sum as f64;
-            result.marked_stale_avg += stats.marked_stale_sum as f64;
+        if stats.writes_ok() > 0 {
+            result.replicas_touched_avg += stats.replicas_touched_sum() as f64;
+            result.marked_stale_avg += stats.marked_stale_sum() as f64;
         }
     }
     if result.writes_ok > 0 {

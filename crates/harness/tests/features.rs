@@ -78,14 +78,14 @@ fn pipelined_grid_schedule_chains_rounds() {
     assert_eq!(oks, 4, "all four writes must commit");
     let stats = &driver.node(NodeId(0)).stats;
     assert!(
-        stats.chained_rounds >= 1,
+        stats.chained_rounds() >= 1,
         "expected a pipelined lock handoff, got chained_rounds = {}",
-        stats.chained_rounds
+        stats.chained_rounds()
     );
     assert!(
-        stats.batched_writes >= 2,
+        stats.batched_writes() >= 2,
         "expected writes to share a round, got batched_writes = {}",
-        stats.batched_writes
+        stats.batched_writes()
     );
     drop(issued);
 }

@@ -72,12 +72,15 @@ struct Tracked {
 
 /// The protocol surface. `Input`/`Effect` are the engine's host contract
 /// (engine/io.rs), `Msg`/`MsgClass` the wire vocabulary (msg.rs), `Timer`
-/// the scheduled-work vocabulary (node.rs). Consumers: the engine step
-/// dispatcher must handle every input, message, and timer; both effect
-/// hosts inside coterie-core (`StepDriver` and the threaded adapter) must
-/// consume every effect; `msg.rs` must classify every message. The simnet
-/// hosts drive these same two consumer files, so they are covered
-/// transitively.
+/// the scheduled-work vocabulary (node.rs), `TraceEvent` the observability
+/// vocabulary (engine/trace.rs). Consumers: the engine step dispatcher
+/// must handle every input, message, and timer; both effect hosts inside
+/// coterie-core (`StepDriver` and the threaded adapter) must consume
+/// every effect; `msg.rs` must classify every message; `TraceEvent::kind`
+/// in trace.rs must tag every trace event (so adding a variant without a
+/// rendering is a finding, and a variant no live protocol code emits is
+/// dead). The simnet hosts drive these same consumer files, so they are
+/// covered transitively.
 const REGISTRY: &[Tracked] = &[
     Tracked {
         name: "Input",
@@ -111,6 +114,12 @@ const REGISTRY: &[Tracked] = &[
         def_file: "crates/core/src/node.rs",
         require_match: true,
         consumers: &["crates/core/src/engine/step.rs"],
+    },
+    Tracked {
+        name: "TraceEvent",
+        def_file: "crates/core/src/engine/trace.rs",
+        require_match: true,
+        consumers: &["crates/core/src/engine/trace.rs"],
     },
 ];
 

@@ -1,0 +1,20 @@
+// Mini-tree fixture: `TraceEvent` is its own designated consumer (the
+// `kind` match); `Phantom` is dead, never matched, and missing from it.
+pub enum TraceEvent {
+    MsgSend { to: NodeId },
+    LockRelease { op: OpId },
+    Phantom,
+}
+
+pub fn emit(to: NodeId, op: OpId) -> Vec<TraceEvent> {
+    vec![TraceEvent::MsgSend { to }, TraceEvent::LockRelease { op }]
+}
+
+impl TraceEvent {
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::MsgSend { .. } => "msg_send",
+            TraceEvent::LockRelease { .. } => "lock_release",
+        }
+    }
+}

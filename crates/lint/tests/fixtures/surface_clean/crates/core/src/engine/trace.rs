@@ -1,0 +1,19 @@
+// Mini-tree fixture: `TraceEvent` with full coverage — every variant is
+// constructed by live code and rendered by the `kind` match.
+pub enum TraceEvent {
+    MsgSend { to: NodeId },
+    LockRelease { op: OpId },
+}
+
+pub fn emit(to: NodeId, op: OpId) -> Vec<TraceEvent> {
+    vec![TraceEvent::MsgSend { to }, TraceEvent::LockRelease { op }]
+}
+
+impl TraceEvent {
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::MsgSend { .. } => "msg_send",
+            TraceEvent::LockRelease { .. } => "lock_release",
+        }
+    }
+}

@@ -1,12 +1,14 @@
 //! Workspace-level surface-matrix tests over checked-in mini-trees.
 //!
 //! `tests/fixtures/surface_bad/` plants one defect of each matrix kind
-//! around a single tracked enum (`Effect` with an extra `Ghost` variant):
-//! a dead variant, a never-matched variant, a consumer missing an arm,
-//! and a consumer with no match at all. `surface_clean/` is the same tree
-//! with the defects removed. The registry degrades gracefully on these
-//! partial workspaces (absent enums are skipped), so only `Effect` rules
-//! fire.
+//! around two tracked enums — `Effect` with an extra `Ghost` variant (a
+//! dead variant, a never-matched variant, a consumer missing an arm, and
+//! a consumer with no match at all) and `TraceEvent` with an extra
+//! `Phantom` variant (dead, never matched, and missing from its own
+//! `kind` match — trace.rs is its own designated consumer).
+//! `surface_clean/` is the same tree with the defects removed. The
+//! registry degrades gracefully on these partial workspaces (absent enums
+//! are skipped), so only `Effect` and `TraceEvent` rules fire.
 
 use coterie_lint::run_workspace;
 use std::path::{Path, PathBuf};
@@ -32,6 +34,11 @@ fn surface_matrix_reports_exact_positions() {
         // anchored at the variant's definition.
         "surface:crates/core/src/engine/io.rs:6:5".to_string(),
         "surface:crates/core/src/engine/io.rs:6:5".to_string(),
+        // `Phantom` is dead and never matched (anchored at its def), and
+        // trace.rs's own `kind` match misses it (anchored at the match).
+        "surface:crates/core/src/engine/trace.rs:6:5".to_string(),
+        "surface:crates/core/src/engine/trace.rs:6:5".to_string(),
+        "surface:crates/core/src/engine/trace.rs:15:9".to_string(),
         // Designated consumer with no match over `Effect` at all.
         "surface:crates/core/src/host.rs:1:1".to_string(),
     ];

@@ -51,7 +51,22 @@ cargo run --release -p coterie-bench --bin bench_throughput -- --smoke
 echo "==> nemesis smoke (bounded storage-fault soak)"
 # Fixed seeds, short schedules: 6 grid + 6 majority runs of crashes,
 # partitions, torn writes, and journal corruption; exits non-zero on any
-# epoch-safety, coherence, or 1SR violation.
+# epoch-safety, coherence, or 1SR violation. Dirty runs dump their flight
+# recorder as causally-merged JSONL + timeline under target/.
 cargo run --release -p coterie-harness --bin nemesis -- 6 42 1500
+
+echo "==> trace determinism smoke"
+# Same-seed runs must produce byte-identical trace JSONL (in-process and
+# across a self-exec process boundary), and attaching a sink must not
+# change a single journal/digest/output byte.
+cargo test -q -p coterie-core --test determinism --test trace_determinism
+
+echo "==> tracing-overhead gate (write-heavy sim cells vs checked-in baseline)"
+# Re-runs the write-heavy deterministic sim cells with tracing disabled
+# (the production default: no-op sink) and fails if throughput regresses
+# more than 5% against BENCH_protocol_throughput.json. Sim cells run in
+# simulated time, so on unchanged code this reproduces the artifact
+# numbers exactly; the tolerance absorbs intentional protocol changes.
+cargo run --release -p coterie-bench --bin bench_throughput -- --gate
 
 echo "tier-1: all green"
